@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the simulation engine itself.
+
+These are conventional pytest-benchmark measurements (many rounds):
+event-dispatch throughput, IOTLB access rate, and the end-to-end
+packet cost — the numbers that determine how long a figure sweep takes.
+"""
+
+import random
+
+from repro.core.config import (
+    CpuConfig,
+    ExperimentConfig,
+    HostConfig,
+    SimConfig,
+)
+from repro.core.experiment import ExperimentHandle
+from repro.host.iotlb import Iotlb
+from repro.host.memory import weighted_water_fill
+from repro.sim import Simulator
+
+
+def test_event_dispatch_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining:
+                sim.call(1e-9, chain, remaining - 1)
+
+        sim.call(0.0, chain, 10_000)
+        sim.run()
+        return sim.events_dispatched
+
+    dispatched = benchmark(run_events)
+    assert dispatched == 10_001
+
+
+def test_iotlb_access_throughput(benchmark):
+    tlb = Iotlb(entries=128, ways=16)
+    rng = random.Random(0)
+    keys = [rng.randrange(1 << 40) << 12 for _ in range(256)]
+
+    def access_all():
+        for key in keys:
+            tlb.access(key)
+
+    benchmark(access_all)
+
+
+def test_water_fill_throughput(benchmark):
+    demands = [float(i % 17 + 1) * 1e9 for i in range(32)]
+    weights = [1.0 + (i % 4) for i in range(32)]
+
+    result = benchmark(weighted_water_fill, demands, weights, 90e9)
+    assert sum(result) <= 90e9 * 1.001
+
+
+def test_end_to_end_packet_cost(benchmark):
+    """Simulated-time per wall-second for the full workload graph."""
+
+    def run_one_ms():
+        config = ExperimentConfig(
+            host=HostConfig(cpu=CpuConfig(cores=4)),
+            sim=SimConfig(warmup=0.5e-3, duration=0.5e-3),
+        )
+        handle = ExperimentHandle(config)
+        handle.run_warmup()
+        handle.run_measurement()
+        return handle.sim.events_dispatched
+
+    events = benchmark.pedantic(run_one_ms, rounds=3, iterations=1)
+    assert events > 1000

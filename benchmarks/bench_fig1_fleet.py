@@ -1,0 +1,15 @@
+"""Figure 1 — fleet scatter of host drop rate vs link utilization.
+
+Paper: drops correlate positively with access-link utilization, AND a
+population of hosts drops packets at low utilization (memory-bus
+congestion).  The bench samples a heterogeneous fleet and checks both.
+"""
+
+from conftest import run_figure_benchmark
+
+from repro.analysis.figures import figure1
+
+
+def test_figure1_fleet_scatter(benchmark, output_dir):
+    run_figure_benchmark(
+        benchmark, figure1, output_dir, n_hosts=60, quality="quick")

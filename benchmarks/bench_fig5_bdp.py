@@ -1,0 +1,16 @@
+"""Figure 5 — Rx memory region size (BDP provisioning).
+
+Paper: provisioning larger per-queue buffer pools registers more pages
+with the IOMMU; misses/packet increase and throughput decreases
+monotonically in region size, while the IOMMU-OFF case is flat.
+"""
+
+from conftest import run_figure_benchmark
+
+from repro.analysis.figures import figure5
+
+
+def test_figure5_region_size(benchmark, output_dir):
+    run_figure_benchmark(
+        benchmark, figure5, output_dir, quality="quick",
+        region_mb=(4, 8, 12, 16))

@@ -1,0 +1,29 @@
+"""Model-vs-simulation cross-validation over the operating grid.
+
+The paper validates its Little's-law model against the testbed for the
+credit-bottlenecked regime ("the observed throughput closely matches
+the above model").  Here both sides are ours, so the grid is wider:
+CPU-bound, line-rate-bound, interconnect-bound, and memory-contended
+points all have to agree.
+"""
+
+from repro.analysis.validation import validate_model
+
+
+def test_model_agrees_with_simulation(benchmark):
+    report = benchmark.pedantic(
+        lambda: validate_model(
+            cores=(4, 8, 12, 16),
+            iommu_states=(True, False),
+            antagonists=(0, 15),
+            warmup=4e-3,
+            duration=8e-3,
+        ),
+        rounds=1, iterations=1)
+    print()
+    print(report.render())
+    # Blind-spot operating points include CC-induced underutilization
+    # the model doesn't capture; 20% is the agreement budget, with the
+    # mean much tighter.
+    assert report.mean_error < 0.10
+    assert report.max_error < 0.25

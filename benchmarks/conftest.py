@@ -1,0 +1,46 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``bench_fig*.py`` regenerates one evaluation figure of the paper,
+prints the same series the paper plots (ASCII chart + CSV export under
+``benchmarks/output/``), and asserts the DESIGN.md shape criteria via
+:mod:`repro.analysis.compare`.  ``pytest benchmarks/ --benchmark-only``
+runs everything.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def run_figure_benchmark(benchmark, figure_fn, output_dir, **kwargs):
+    """Run one figure regeneration exactly once under pytest-benchmark.
+
+    Figure sweeps are minutes-long simulations; a single round is the
+    measurement (pedantic mode avoids pytest-benchmark's default
+    auto-calibration re-runs).
+    """
+    from repro.analysis.compare import check_figure
+
+    fig = benchmark.pedantic(figure_fn, kwargs=kwargs, rounds=1,
+                             iterations=1)
+    print()
+    print(fig.render())
+    findings = check_figure(fig)
+    print()
+    for finding in findings:
+        print(finding)
+    fig.to_csv_dir(output_dir)
+    failed = [f for f in findings if not f.passed]
+    assert not failed, "shape criteria failed: " + "; ".join(
+        f.criterion for f in failed)
+    return fig

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Capacity planning for next-generation hosts (paper §4).
+
+Uses the analytical model to ask the paper's forward-looking question:
+what happens when access links grow 4× (400 Gbps) while the rest of the
+host stays on today's technology curve — and which §4 mitigations
+(ATS device TLB, MBA bandwidth reservation, CXL-class latency, bigger
+IOTLBs) buy back the most throughput?  Then validates two of the
+what-ifs in simulation.
+
+    python examples/future_hosts.py
+"""
+
+import dataclasses
+
+from repro import ThroughputModel, baseline_config, run_experiment
+from repro.core.model import iotlb_working_set, predicted_miss_ratio
+
+
+def model_section() -> None:
+    base = baseline_config()
+    print("== analytical what-ifs (Little's-law bound, app Gbps) ==\n")
+    print(f"{'scenario':>34} {'bound':>8}")
+    rows = []
+
+    # Today's host at today's link speed.
+    model = ThroughputModel(base)
+    rows.append(("100G link, IOMMU off", model.predict(0.0)))
+    rows.append(("100G link, IOMMU on (M=1.5)", model.predict(1.5)))
+
+    # 400G link: raise the line rate; host unchanged -> PCIe gen3 caps.
+    fast_link = dataclasses.replace(
+        base, link=dataclasses.replace(base.link, rate_bps=400e9))
+    model_400 = ThroughputModel(fast_link)
+    rows.append(("400G link, stagnant host", model_400.predict(1.5)))
+
+    # PCIe gen5-ish (CXL-era): 4x goodput and credits, lower latency.
+    host = fast_link.host
+    gen5 = dataclasses.replace(
+        fast_link,
+        host=dataclasses.replace(
+            host,
+            pcie=dataclasses.replace(
+                host.pcie,
+                raw_bps=512e9, goodput_bps=440e9,
+                max_inflight_bytes=host.pcie.max_inflight_bytes * 4,
+                dma_fixed_latency=0.5e-6)))
+    model_gen5 = ThroughputModel(gen5)
+    rows.append(("400G link, CXL-class interconnect (M=1.5)",
+                 model_gen5.predict(1.5)))
+    rows.append(("... and translation fixed (M=0)",
+                 model_gen5.predict(0.0)))
+    for label, bound in rows:
+        print(f"{label:>42} {bound / 1e9:>8.1f}")
+
+    ws = iotlb_working_set(base.host)
+    print(f"\nIOTLB pressure at 4x the bandwidth-delay product: the "
+          f"active working set grows from {ws.total_pages} pages toward "
+          f"{4 * ws.total_pages}, predicted steady-state miss ratio "
+          f"{predicted_miss_ratio(base.host):.2f} -> "
+          f"{1 - 128 / (4 * ws.total_pages):.2f} per access.")
+
+
+def simulation_section() -> None:
+    print("\n== simulated §4 mitigations at the congested baseline ==\n")
+    base = baseline_config(warmup=4e-3, duration=8e-3)
+    congested = dataclasses.replace(
+        base, host=dataclasses.replace(base.host, antagonist_cores=15))
+    host = congested.host
+    variants = {
+        "baseline (congested)": congested,
+        "ATS device TLB": dataclasses.replace(
+            congested, host=dataclasses.replace(
+                host, iommu=dataclasses.replace(
+                    host.iommu, device_tlb_entries=512))),
+        "MBA 25% NIC reservation": dataclasses.replace(
+            congested, host=dataclasses.replace(
+                host, memory=dataclasses.replace(
+                    host.memory, nic_reserved_fraction=0.25))),
+        "host-signal CC (sub-RTT)": dataclasses.replace(
+            congested, transport="hostcc"),
+    }
+    print(f"{'variant':>26} {'tput Gbps':>10} {'drop %':>7}")
+    for name, config in variants.items():
+        result = run_experiment(config)
+        print(f"{name:>26} "
+              f"{result.metrics['app_throughput_gbps']:>10.1f} "
+              f"{result.metrics['drop_rate'] * 100:>7.2f}")
+
+
+def sensitivity_section() -> None:
+    from repro.analysis.sensitivity import sensitivity_analysis
+
+    print("\n== which knob buys the most? (elasticities at the "
+          "16-core, M=2.3 operating point) ==\n")
+    base = baseline_config()
+    config = dataclasses.replace(
+        base, host=dataclasses.replace(
+            base.host,
+            cpu=dataclasses.replace(base.host.cpu, cores=16)))
+    for entry in sensitivity_analysis(config, misses_per_packet=2.3):
+        print(f"  {entry}")
+
+
+def main() -> None:
+    model_section()
+    sensitivity_section()
+    simulation_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's baseline workload and read the gauges.
+
+Builds the full receiver host (NIC → PCIe → IOMMU → memory → CPU), the
+40-sender incast fabric, and Swift congestion control; runs a short
+measurement window; prints every headline metric of the paper.
+
+    python examples/quickstart.py
+"""
+
+from repro import baseline_config, run_experiment
+
+
+def main() -> None:
+    config = baseline_config(warmup=4e-3, duration=8e-3)
+    print("Running the paper's baseline: 40 senders, 12 receiver cores,")
+    print("IOMMU on, hugepages on, Swift congestion control...\n")
+    result = run_experiment(config)
+
+    metrics = result.metrics
+    print(f"application throughput : "
+          f"{metrics['app_throughput_gbps']:6.1f} Gbps "
+          f"(max achievable ≈ 92)")
+    print(f"access link utilization: "
+          f"{metrics['link_utilization'] * 100:6.1f} %")
+    print(f"host drop rate         : "
+          f"{metrics['drop_rate'] * 100:6.2f} %")
+    print(f"IOTLB misses per packet: "
+          f"{metrics['iotlb_misses_per_packet']:6.2f}")
+    print(f"mean per-DMA latency   : "
+          f"{metrics['mean_dma_latency_us']:6.2f} µs")
+    print(f"mean NIC queueing delay: "
+          f"{metrics['mean_nic_delay_us']:6.1f} µs "
+          f"(Swift's host target: 100 µs)")
+    print(f"memory bus utilization : "
+          f"{metrics['memory_utilization'] * 100:6.1f} %")
+    print(f"remote-read p99 latency: "
+          f"{result.message_latency_us['p99']:6.1f} µs")
+
+    print("\nWhat to look for: with 12 receiver cores the IOMMU working")
+    print("set exceeds the 128-entry IOTLB, per-DMA latency inflates,")
+    print("and the NIC buffer queues ~90 µs — just under Swift's 100 µs")
+    print("host target, so drops persist (the paper's §3.1 blind spot).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure and save series + shape findings.
+
+    python scripts/generate_figures.py [--quality full] [--out results/]
+
+Writes, per figure: the ASCII rendering (``.txt``), the panel CSVs, and
+a JSON file with the series and shape-check outcomes.  EXPERIMENTS.md
+is written from these artifacts.
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.compare import check_figure
+from repro.analysis.figures import figure1, figure3, figure4, figure5, figure6
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quality", default="full",
+                        choices=("quick", "full"))
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--fleet-hosts", type=int, default=120)
+    args = parser.parse_args()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    jobs = [
+        ("figure1", lambda: figure1(n_hosts=args.fleet_hosts,
+                                    quality=args.quality)),
+        ("figure3", lambda: figure3(quality=args.quality)),
+        ("figure4", lambda: figure4(quality=args.quality)),
+        ("figure5", lambda: figure5(quality=args.quality)),
+        ("figure6", lambda: figure6(quality=args.quality)),
+    ]
+    for name, job in jobs:
+        start = time.time()
+        print(f"[{name}] running ({args.quality})...", flush=True)
+        fig = job()
+        findings = check_figure(fig)
+        elapsed = time.time() - start
+        (out / f"{name}.txt").write_text(
+            fig.render() + "\n\n" + "\n".join(map(str, findings)) + "\n")
+        fig.to_csv_dir(out)
+        payload = {
+            "name": fig.name,
+            "title": fig.title,
+            "elapsed_s": round(elapsed, 1),
+            "notes": fig.notes,
+            "panels": {
+                panel: {
+                    "x_label": x_label,
+                    "y_label": y_label,
+                    "series": [
+                        {"label": s.label, "x": list(s.x),
+                         "y": [round(v, 4) for v in s.y]}
+                        for s in series
+                    ],
+                }
+                for panel, (x_label, y_label, series) in fig.panels.items()
+            },
+            "findings": [
+                {"criterion": f.criterion, "passed": f.passed,
+                 "detail": f.detail}
+                for f in findings
+            ],
+        }
+        (out / f"{name}.json").write_text(json.dumps(payload, indent=1))
+        status = ("all criteria PASS"
+                  if all(f.passed for f in findings)
+                  else "SOME CRITERIA FAILED")
+        print(f"[{name}] done in {elapsed:.0f}s — {status}", flush=True)
+
+    from repro.analysis.report import write_report
+
+    report_path = write_report(out)
+    print(f"wrote {report_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Analysis and figure regeneration: series building, ASCII plots, and
+one function per paper figure."""
+
+from repro.analysis.convergence import (
+    SawtoothMetrics,
+    convergence_time,
+    sawtooth_metrics,
+)
+from repro.analysis.figures import (
+    FigureData,
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.analysis.sensitivity import Elasticity, sensitivity_analysis
+from repro.analysis.series import Series, series_from_table
+from repro.analysis.text_plots import line_plot, scatter_plot
+from repro.analysis.validation import (
+    ValidationPoint,
+    ValidationReport,
+    validate_model,
+)
+
+__all__ = [
+    "Elasticity",
+    "FigureData",
+    "SawtoothMetrics",
+    "Series",
+    "ValidationPoint",
+    "ValidationReport",
+    "convergence_time",
+    "figure1",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "line_plot",
+    "sawtooth_metrics",
+    "scatter_plot",
+    "sensitivity_analysis",
+    "series_from_table",
+    "validate_model",
+]

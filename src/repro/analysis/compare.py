@@ -1,0 +1,185 @@
+"""Shape checks: does each reproduced figure match the paper?
+
+Each check encodes the DESIGN.md "shape criteria" — the qualitative
+claims of the corresponding paper figure (who wins, where the knees
+fall) — and returns a list of human-readable pass/fail findings.  The
+benchmark harness prints these next to the regenerated series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.analysis.figures import FigureData
+from repro.analysis.series import Series
+
+__all__ = ["Finding", "check_figure"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One shape criterion's outcome."""
+
+    figure: str
+    criterion: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.figure}: {self.criterion} ({self.detail})"
+
+
+def _series(fig: FigureData, panel: str, label_prefix: str) -> Series:
+    for candidate in fig.panels[panel][2]:
+        if candidate.label.startswith(label_prefix):
+            return candidate
+    raise KeyError(f"no series starting with {label_prefix!r} in "
+                   f"panel {panel!r} of {fig.name}")
+
+
+def _at(series: Series, x: float) -> float:
+    lookup = dict(zip(series.x, series.y))
+    return lookup[x]
+
+
+def check_figure1(fig: FigureData) -> List[Finding]:
+    notes = fig.notes
+    high = notes["drop_fraction_high_util"]
+    low = notes["drop_fraction_low_util"]
+    return [
+        Finding(
+            "figure1", "drops correlate positively with utilization",
+            notes["spearman"] > 0.1 and high > low,
+            f"spearman={notes['spearman']}, "
+            f"P(drop|util>0.85)={high} vs P(drop|util<0.6)={low}"),
+        Finding(
+            "figure1", "some hosts drop at low (<50%) utilization",
+            notes["low_util_hosts_with_drops"] >= 1,
+            f"{notes['low_util_hosts_with_drops']} hosts"),
+    ]
+
+
+def check_figure3(fig: FigureData) -> List[Finding]:
+    on = _series(fig, "throughput", "App Throughput -- IOMMU ON")
+    off = _series(fig, "throughput", "App Throughput -- IOMMU OFF")
+    misses = _series(fig, "iotlb misses", "IOMMU ON")
+    drops = _series(fig, "drop rate", "IOMMU ON")
+    model = _series(fig, "throughput", "Modeled App Throughput")
+    findings = [
+        Finding("figure3", "CPU-bound region ~linear to 8 cores",
+                abs(_at(on, 8) - 4 * _at(on, 2)) / (4 * _at(on, 2)) < 0.1
+                and _at(on, 8) > 85,
+                f"2→{_at(on, 2):.0f}, 8→{_at(on, 8):.0f} Gbps"),
+        Finding("figure3", "IOMMU OFF sustains ≈92 Gbps beyond 8 cores",
+                min(_at(off, x) for x in off.x if x >= 8) > 85,
+                f"min={min(_at(off, x) for x in off.x if x >= 8):.1f}"),
+        Finding("figure3", "IOMMU ON degrades ≥10% at 16 cores vs OFF",
+                _at(on, 16) < 0.9 * _at(off, 16),
+                f"ON={_at(on, 16):.1f} OFF={_at(off, 16):.1f}"),
+        Finding("figure3", "IOTLB misses ≈0 below 8 cores, ≥1 at 16",
+                _at(misses, 6) < 0.2 and _at(misses, 16) >= 1.0,
+                f"6→{_at(misses, 6):.2f}, 16→{_at(misses, 16):.2f}"),
+        Finding("figure3", "drops ≥1.5% in the blind-spot regime",
+                max(_at(drops, x) for x in drops.x if 10 <= x <= 14)
+                >= 1.5,
+                f"peak={max(_at(drops, x) for x in drops.x if 10 <= x <= 14):.2f}%"),
+    ]
+    # Model line tracks measured ON throughput within 15% where shown.
+    on_lookup = dict(zip(on.x, on.y))
+    errors = [
+        abs(y - on_lookup[x]) / on_lookup[x]
+        for x, y in zip(model.x, model.y) if x in on_lookup
+    ]
+    findings.append(
+        Finding("figure3", "model line tracks measurement (≤15%)",
+                bool(errors) and max(errors) < 0.15,
+                f"max err={max(errors) * 100:.1f}%" if errors else "no points"))
+    return findings
+
+
+def check_figure4(fig: FigureData) -> List[Finding]:
+    hp = _series(fig, "throughput", "App Throughput -- HugePages Enabled")
+    nohp = _series(fig, "throughput",
+                   "App Throughput -- HugePages Disabled")
+    misses_nohp = _series(fig, "iotlb misses", "Hugepages Disabled")
+    return [
+        Finding("figure4", "hugepages-off degrades >20% at high cores",
+                _at(nohp, 16) < 0.8 * _at(hp, 16),
+                f"hp={_at(hp, 16):.1f} nohp={_at(nohp, 16):.1f}"),
+        Finding("figure4", "hugepages-off bottleneck arrives earlier",
+                _at(nohp, 8) < 0.9 * _at(hp, 8),
+                f"hp@8={_at(hp, 8):.1f} nohp@8={_at(nohp, 8):.1f}"),
+        Finding("figure4", "hugepages-off misses ≥2/packet throughout",
+                min(misses_nohp.y) >= 1.5,
+                f"min={min(misses_nohp.y):.2f}"),
+    ]
+
+
+def check_figure5(fig: FigureData) -> List[Finding]:
+    on = _series(fig, "throughput", "App Throughput -- IOMMU ON")
+    off = _series(fig, "throughput", "App Throughput -- IOMMU OFF")
+    misses = _series(fig, "iotlb misses", "IOMMU ON")
+    on_sorted = on.sorted_by_x()
+    misses_sorted = misses.sorted_by_x()
+    non_increasing = all(
+        a >= b - 1.0 for a, b in zip(on_sorted.y, on_sorted.y[1:]))
+    increasing = all(
+        a <= b + 0.05 for a, b in zip(misses_sorted.y, misses_sorted.y[1:]))
+    return [
+        Finding("figure5", "IOMMU ON throughput non-increasing in size",
+                non_increasing and on_sorted.y[-1] < on_sorted.y[0],
+                f"{on_sorted.y[0]:.1f}→{on_sorted.y[-1]:.1f}"),
+        Finding("figure5", "misses/packet increase with region size",
+                increasing and misses_sorted.y[-1] > misses_sorted.y[0],
+                f"{misses_sorted.y[0]:.2f}→{misses_sorted.y[-1]:.2f}"),
+        Finding("figure5", "IOMMU OFF flat across sizes",
+                max(off.y) - min(off.y) < 5.0,
+                f"range={max(off.y) - min(off.y):.1f} Gbps"),
+    ]
+
+
+def check_figure6(fig: FigureData) -> List[Finding]:
+    off = _series(fig, "throughput iommu off", "App Throughput")
+    on = _series(fig, "throughput iommu on", "App Throughput")
+    bw = _series(fig, "memory bandwidth", "Total -- IOMMU OFF")
+    max_ant = max(off.x)
+    return [
+        Finding("figure6",
+                "IOMMU OFF degrades ≥8% only near bus saturation",
+                _at(off, max_ant) < 0.92 * max(off.y)
+                and _at(off, min(off.x)) > 0.95 * max(off.y),
+                f"0→{_at(off, min(off.x)):.1f}, "
+                f"{max_ant:.0f}→{_at(off, max_ant):.1f}"),
+        Finding("figure6", "IOMMU ON degrades further (≥15Gbps drop)",
+                _at(on, max_ant) < _at(on, min(on.x)) - 15,
+                f"{_at(on, min(on.x)):.1f}→{_at(on, max_ant):.1f}"),
+        Finding("figure6", "IOMMU ON ends below IOMMU OFF",
+                _at(on, max_ant) < _at(off, max_ant) - 10,
+                f"ON={_at(on, max_ant):.1f} OFF={_at(off, max_ant):.1f}"),
+        Finding("figure6", "memory bandwidth saturates near ~90 GB/s",
+                80 <= _at(bw, max_ant) <= 95,
+                f"{_at(bw, max_ant):.1f} GB/s"),
+        Finding("figure6", "memory bandwidth ≈linear at low antagonism",
+                _at(bw, min(bw.x)) < 25,
+                f"baseline={_at(bw, min(bw.x)):.1f} GB/s"),
+    ]
+
+
+_CHECKS: Dict[str, Callable[[FigureData], List[Finding]]] = {
+    "figure1": check_figure1,
+    "figure3": check_figure3,
+    "figure4": check_figure4,
+    "figure5": check_figure5,
+    "figure6": check_figure6,
+}
+
+
+def check_figure(fig: FigureData) -> List[Finding]:
+    """Run the paper-shape checks registered for ``fig``."""
+    try:
+        checker = _CHECKS[fig.name]
+    except KeyError:
+        raise ValueError(f"no shape checks registered for {fig.name!r}")
+    return checker(fig)

@@ -1,0 +1,87 @@
+"""Time-series analysis: sawtooth detection and convergence measures.
+
+The paper attributes residual drops to the classic congestion-control
+sawtooth: "upon reducing the rate, the host delay reduces, resulting in
+a corresponding increase in rate, leading to subsequent host congestion
+and drops."  These helpers quantify that behaviour from recorded time
+series (NIC buffer occupancy, arrival rate, cwnd).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.metrics import percentile
+
+__all__ = ["SawtoothMetrics", "convergence_time", "sawtooth_metrics"]
+
+
+@dataclass(frozen=True)
+class SawtoothMetrics:
+    """Oscillation summary of one series."""
+
+    mean: float
+    amplitude: float          # p95 - p5
+    relative_amplitude: float  # amplitude / mean (0 if mean == 0)
+    cycles: int               # downward mean-crossings
+    period: Optional[float]   # mean time between crossings, if any
+
+    @property
+    def oscillating(self) -> bool:
+        """Heuristic: several cycles with non-trivial amplitude."""
+        return self.cycles >= 3 and self.relative_amplitude > 0.2
+
+
+def sawtooth_metrics(times: Sequence[float],
+                     values: Sequence[float]) -> SawtoothMetrics:
+    """Quantify oscillation of ``values`` sampled at ``times``."""
+    if len(times) != len(values):
+        raise ValueError("times and values must have equal length")
+    if len(values) < 3:
+        raise ValueError("need at least 3 samples")
+    mean = sum(values) / len(values)
+    amplitude = percentile(values, 95) - percentile(values, 5)
+    relative = amplitude / mean if mean > 0 else 0.0
+    crossings: List[float] = []
+    for i in range(1, len(values)):
+        if values[i - 1] >= mean > values[i]:
+            crossings.append(times[i])
+    period = None
+    if len(crossings) >= 2:
+        gaps = [b - a for a, b in zip(crossings, crossings[1:])]
+        period = sum(gaps) / len(gaps)
+    return SawtoothMetrics(
+        mean=mean,
+        amplitude=amplitude,
+        relative_amplitude=relative,
+        cycles=len(crossings),
+        period=period,
+    )
+
+
+def convergence_time(
+    times: Sequence[float],
+    values: Sequence[float],
+    tolerance: float = 0.1,
+    window: int = 5,
+) -> Optional[float]:
+    """First time from which the series stays within ``tolerance``
+    (relative) of its final level.
+
+    The final level is the mean of the last ``window`` samples.
+    Returns None if the series never settles.
+    """
+    if len(times) != len(values):
+        raise ValueError("times and values must have equal length")
+    if len(values) < window + 1:
+        raise ValueError("series shorter than the settling window")
+    final = sum(values[-window:]) / window
+    if final == 0:
+        band = tolerance
+    else:
+        band = abs(final) * tolerance
+    for i in range(len(values)):
+        if all(abs(v - final) <= band for v in values[i:]):
+            return times[i]
+    return None

@@ -1,0 +1,422 @@
+"""Regeneration of every evaluation figure in the paper.
+
+One function per figure; each returns a :class:`FigureData` holding the
+named series of every panel, renders to ASCII, and exports CSV.  The
+``quality`` knob trades run time for grid density / window length:
+
+- ``"quick"`` — coarse grid, short windows (benchmark-harness default);
+- ``"full"``  — the paper's grid and longer measurement windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.analysis.series import Series, series_from_table
+from repro.analysis.text_plots import line_plot, scatter_plot
+from repro.core import calibration as cal
+from repro.core.config import ExperimentConfig
+from repro.core.model import ThroughputModel
+from repro.core.results import ResultTable
+from repro.core.sweep import (
+    baseline_config,
+    sweep_antagonist_cores,
+    sweep_receiver_cores,
+    sweep_region_size,
+)
+from repro.workload.fleet import FleetSample, FleetSampler
+
+__all__ = [
+    "FigureData",
+    "figure1",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+]
+
+_QUALITY = {
+    # (warmup, duration, grid density factor)
+    "quick": (4e-3, 8e-3),
+    "full": (6e-3, 14e-3),
+}
+
+
+def _windows(quality: str) -> Tuple[float, float]:
+    try:
+        return _QUALITY[quality]
+    except KeyError:
+        raise ValueError(
+            f"quality must be one of {sorted(_QUALITY)}, got {quality!r}"
+        ) from None
+
+
+@dataclass
+class FigureData:
+    """All panels of one reproduced figure."""
+
+    name: str
+    title: str
+    #: panel name -> (x label, y label, series list)
+    panels: Dict[str, Tuple[str, str, List[Series]]]
+    #: raw scatter points for Fig. 1
+    scatter: List[Tuple[float, float]] = field(default_factory=list)
+    table: ResultTable | None = None
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        blocks = [f"==== {self.name}: {self.title} ===="]
+        if self.scatter:
+            blocks.append(
+                scatter_plot(
+                    self.scatter,
+                    title=self.title,
+                    x_label="link utilization",
+                    y_label="drop rate",
+                )
+            )
+        for panel, (x_label, y_label, series) in self.panels.items():
+            blocks.append(
+                line_plot(series, title=panel, x_label=x_label,
+                          y_label=y_label)
+            )
+        if self.notes:
+            blocks.append("notes: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.notes.items())))
+        return "\n\n".join(blocks)
+
+    def to_csv_dir(self, directory: str | Path) -> List[Path]:
+        """One CSV per panel (columns: x, one column per series)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        for panel, (x_label, _y, series_list) in self.panels.items():
+            path = directory / f"{self.name}_{panel}.csv".replace(" ", "_")
+            xs = sorted({x for s in series_list for x in s.x})
+            with open(path, "w") as fh:
+                header = [x_label] + [s.label for s in series_list]
+                fh.write(",".join(header) + "\n")
+                for x in xs:
+                    row = [f"{x:g}"]
+                    for s in series_list:
+                        lookup = dict(zip(s.x, s.y))
+                        row.append(
+                            f"{lookup[x]:g}" if x in lookup else "")
+                    fh.write(",".join(row) + "\n")
+            written.append(path)
+        if self.scatter:
+            path = directory / f"{self.name}_scatter.csv"
+            with open(path, "w") as fh:
+                fh.write("link_utilization,drop_rate\n")
+                for x, y in self.scatter:
+                    fh.write(f"{x:g},{y:g}\n")
+            written.append(path)
+        return written
+
+
+def _rank(values: Sequence[float]) -> List[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while (j + 1 < len(order)
+               and values[order[j + 1]] == values[order[i]]):
+            j += 1
+        mean_rank = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (no SciPy dependency)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two same-length samples of size >= 2")
+    rx, ry = _rank(xs), _rank(ys)
+    mx = sum(rx) / len(rx)
+    my = sum(ry) / len(ry)
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / (vx * vy) ** 0.5
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — fleet scatter
+# ---------------------------------------------------------------------------
+
+def figure1(n_hosts: int = 60, seed: int = 7,
+            quality: str = "quick") -> FigureData:
+    """Fig. 1: host drop rate vs access-link utilization over a fleet.
+
+    Returns the scatter plus summary notes: the Spearman correlation
+    (positive in the paper) and the count of low-utilization hosts with
+    drops (the paper's second observation).
+    """
+    warmup, duration = _windows(quality)
+    sampler = FleetSampler(seed=seed, warmup=warmup, duration=duration)
+    samples: List[FleetSample] = sampler.run(n_hosts)
+    points = [(s.link_utilization, s.drop_rate) for s in samples]
+    droppers = [s for s in samples if s.drop_rate > 1e-4]
+    low_util_droppers = [
+        s for s in droppers if s.link_utilization < 0.5
+    ]
+    corr = spearman([p[0] for p in points], [p[1] for p in points])
+    high = [s for s in samples if s.link_utilization > 0.85]
+    low = [s for s in samples if s.link_utilization < 0.6]
+
+    def drop_fraction(group):
+        if not group:
+            return 0.0
+        return sum(1 for s in group if s.drop_rate > 1e-4) / len(group)
+
+    return FigureData(
+        name="figure1",
+        title="Host congestion across a heterogeneous fleet",
+        panels={},
+        scatter=points,
+        notes={
+            "hosts": n_hosts,
+            "spearman": round(corr, 3),
+            "hosts_with_drops": len(droppers),
+            "low_util_hosts_with_drops": len(low_util_droppers),
+            "drop_fraction_high_util": round(drop_fraction(high), 3),
+            "drop_fraction_low_util": round(drop_fraction(low), 3),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 3/4 — receiver-core sweeps
+# ---------------------------------------------------------------------------
+
+def _core_sweep_panels(
+    table: ResultTable,
+    left_series: List[Series],
+    quality: str,
+) -> Dict[str, Tuple[str, str, List[Series]]]:
+    max_line = Series(
+        "Max Achievable Throughput",
+        tuple(sorted({float(c) for c in table.column("cores")})),
+        tuple(cal.MAX_APP_GOODPUT_BPS / 1e9
+              for _ in sorted({float(c) for c in table.column("cores")})),
+    )
+    return {
+        "throughput": ("receiver cores", "Gbps",
+                       left_series + [max_line]),
+        "drop rate": ("receiver cores", "percent", []),
+        "iotlb misses": ("receiver cores", "misses/packet", []),
+    }
+
+
+def figure3(quality: str = "quick",
+            cores: Sequence[int] | None = None) -> FigureData:
+    """Fig. 3: throughput / drop % / IOTLB misses vs receiver cores,
+    IOMMU ON vs OFF, plus the Little's-law model line."""
+    warmup, duration = _windows(quality)
+    cores = tuple(cores) if cores else (
+        (2, 6, 8, 10, 12, 16) if quality == "quick"
+        else (2, 4, 6, 8, 10, 12, 14, 16))
+    base = baseline_config(warmup=warmup, duration=duration)
+    table = sweep_receiver_cores(cores=cores, base=base)
+
+    tput_on = series_from_table(
+        table, "cores", "app_throughput_gbps",
+        "App Throughput -- IOMMU ON", iommu=True)
+    tput_off = series_from_table(
+        table, "cores", "app_throughput_gbps",
+        "App Throughput -- IOMMU OFF", iommu=False)
+    drops_on = series_from_table(
+        table, "cores", "drop_rate", "IOMMU ON", iommu=True)
+    drops_off = series_from_table(
+        table, "cores", "drop_rate", "IOMMU OFF", iommu=False)
+    misses_on = series_from_table(
+        table, "cores", "iotlb_misses_per_packet", "IOMMU ON",
+        iommu=True)
+
+    # The model line: Little's-law bound fed with the measured misses,
+    # shown (as in the paper) only where the interconnect binds.
+    model_x, model_y = [], []
+    for result in table.where(iommu=True):
+        n = result.params["cores"]
+        if n < 10:
+            continue
+        model = ThroughputModel(_config_for_cores(base, n))
+        bound = model.predict(
+            misses_per_packet=result.metrics["iotlb_misses_per_packet"],
+            memory_utilization=result.metrics["memory_utilization"],
+        )
+        model_x.append(float(n))
+        model_y.append(bound / 1e9)
+    model_series = Series("Modeled App Throughput -- IOMMU ON",
+                          tuple(model_x), tuple(model_y)).sorted_by_x()
+
+    panels = _core_sweep_panels(table, [tput_on, tput_off, model_series],
+                                quality)
+    panels["drop rate"] = (
+        "receiver cores", "percent",
+        [_percent(drops_on), _percent(drops_off)])
+    panels["iotlb misses"] = (
+        "receiver cores", "misses/packet", [misses_on])
+    return FigureData(
+        name="figure3",
+        title="IOMMU-induced host congestion vs receiver cores",
+        panels=panels,
+        table=table,
+    )
+
+
+def figure4(quality: str = "quick",
+            cores: Sequence[int] | None = None) -> FigureData:
+    """Fig. 4: hugepages enabled vs disabled (IOMMU always on)."""
+    warmup, duration = _windows(quality)
+    cores = tuple(cores) if cores else (
+        (2, 6, 8, 12, 16) if quality == "quick"
+        else (2, 4, 6, 8, 10, 12, 14, 16))
+    base = baseline_config(warmup=warmup, duration=duration)
+    table_on = sweep_receiver_cores(
+        cores=cores, iommu_states=(True,), base=base, hugepages=True)
+    table_off = sweep_receiver_cores(
+        cores=cores, iommu_states=(True,), base=base, hugepages=False)
+    merged = ResultTable(list(table_on) + list(table_off))
+
+    tput_hp = series_from_table(
+        merged, "cores", "app_throughput_gbps",
+        "App Throughput -- HugePages Enabled", hugepages=True)
+    tput_nohp = series_from_table(
+        merged, "cores", "app_throughput_gbps",
+        "App Throughput -- HugePages Disabled", hugepages=False)
+    drops_hp = series_from_table(
+        merged, "cores", "drop_rate", "Hugepages Enabled",
+        hugepages=True)
+    drops_nohp = series_from_table(
+        merged, "cores", "drop_rate", "Hugepages Disabled",
+        hugepages=False)
+    misses_hp = series_from_table(
+        merged, "cores", "iotlb_misses_per_packet",
+        "Hugepages Enabled", hugepages=True)
+    misses_nohp = series_from_table(
+        merged, "cores", "iotlb_misses_per_packet",
+        "Hugepages Disabled", hugepages=False)
+
+    return FigureData(
+        name="figure4",
+        title="Disabling hugepages increases IOMMU contention",
+        panels={
+            "throughput": ("receiver cores", "Gbps",
+                           [tput_hp, tput_nohp]),
+            "drop rate": ("receiver cores", "percent",
+                          [_percent(drops_hp), _percent(drops_nohp)]),
+            "iotlb misses": ("receiver cores", "misses/packet",
+                             [misses_hp, misses_nohp]),
+        },
+        table=merged,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — Rx memory region size
+# ---------------------------------------------------------------------------
+
+def figure5(quality: str = "quick",
+            region_mb: Sequence[int] = (4, 8, 12, 16)) -> FigureData:
+    """Fig. 5: provisioning for larger BDPs worsens IOMMU contention."""
+    warmup, duration = _windows(quality)
+    base = baseline_config(warmup=warmup, duration=duration)
+    table = sweep_region_size(region_mb=region_mb, base=base)
+
+    tput_on = series_from_table(
+        table, "rx_region_mb", "app_throughput_gbps",
+        "App Throughput -- IOMMU ON", iommu=True)
+    tput_off = series_from_table(
+        table, "rx_region_mb", "app_throughput_gbps",
+        "App Throughput -- IOMMU OFF", iommu=False)
+    drops_on = series_from_table(
+        table, "rx_region_mb", "drop_rate", "IOMMU ON", iommu=True)
+    drops_off = series_from_table(
+        table, "rx_region_mb", "drop_rate", "IOMMU OFF", iommu=False)
+    misses_on = series_from_table(
+        table, "rx_region_mb", "iotlb_misses_per_packet", "IOMMU ON",
+        iommu=True)
+
+    return FigureData(
+        name="figure5",
+        title="Larger Rx memory regions increase IOMMU contention",
+        panels={
+            "throughput": ("Rx region (MB)", "Gbps",
+                           [tput_on, tput_off]),
+            "drop rate": ("Rx region (MB)", "percent",
+                          [_percent(drops_on), _percent(drops_off)]),
+            "iotlb misses": ("Rx region (MB)", "misses/packet",
+                             [misses_on]),
+        },
+        table=table,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — memory-bus antagonism
+# ---------------------------------------------------------------------------
+
+def figure6(quality: str = "quick",
+            antagonists: Sequence[int] | None = None) -> FigureData:
+    """Fig. 6: throughput and memory bandwidth vs STREAM cores."""
+    warmup, duration = _windows(quality)
+    antagonists = tuple(antagonists) if antagonists else (
+        (0, 2, 6, 10, 15) if quality == "quick"
+        else (0, 1, 2, 4, 6, 8, 10, 12, 14, 15))
+    base = baseline_config(warmup=warmup, duration=duration)
+    table = sweep_antagonist_cores(antagonists=antagonists, base=base)
+
+    def s(metric: str, label: str, iommu: bool) -> Series:
+        return series_from_table(
+            table, "antagonist_cores", metric, label, iommu=iommu)
+
+    return FigureData(
+        name="figure6",
+        title="Memory-bus contention degrades NIC-to-CPU throughput",
+        panels={
+            "throughput iommu off": (
+                "antagonist cores", "Gbps",
+                [s("app_throughput_gbps",
+                   "App Throughput -- IOMMU OFF", False)]),
+            "throughput iommu on": (
+                "antagonist cores", "Gbps",
+                [s("app_throughput_gbps",
+                   "App Throughput -- IOMMU ON", True)]),
+            "memory bandwidth": (
+                "antagonist cores", "GB/s",
+                [s("memory_total_GBps", "Total -- IOMMU OFF", False),
+                 s("memory_total_GBps", "Total -- IOMMU ON", True)]),
+            "drop rate": (
+                "antagonist cores", "percent",
+                [_percent(s("drop_rate", "IOMMU ON", True)),
+                 _percent(s("drop_rate", "IOMMU OFF", False))]),
+        },
+        table=table,
+    )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _percent(series: Series) -> Series:
+    return Series(series.label, series.x,
+                  tuple(y * 100 for y in series.y))
+
+
+def _config_for_cores(base: ExperimentConfig, cores: int):
+    import dataclasses
+
+    return dataclasses.replace(
+        base,
+        host=dataclasses.replace(
+            base.host,
+            cpu=dataclasses.replace(base.host.cpu, cores=cores)))

@@ -1,0 +1,98 @@
+"""Markdown report generation from saved figure results.
+
+``scripts/generate_figures.py`` saves one JSON per figure; this module
+turns a results directory into a paper-vs-measured markdown report —
+the machine-generated companion to the hand-written EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["load_results", "render_report"]
+
+_FIGURE_ORDER = ("figure1", "figure3", "figure4", "figure5", "figure6")
+
+
+def load_results(directory: str | Path) -> Dict[str, dict]:
+    """Load every ``figure*.json`` in ``directory`` (sorted)."""
+    directory = Path(directory)
+    out: Dict[str, dict] = {}
+    for name in _FIGURE_ORDER:
+        path = directory / f"{name}.json"
+        if path.exists():
+            out[name] = json.loads(path.read_text())
+    if not out:
+        raise FileNotFoundError(
+            f"no figure*.json results under {directory}")
+    return out
+
+
+def _series_table(panel: dict) -> List[str]:
+    lines: List[str] = []
+    series_list = panel["series"]
+    if not series_list:
+        return lines
+    xs = series_list[0]["x"]
+    header = "| " + panel["x_label"] + " | " + " | ".join(
+        s["label"] for s in series_list) + " |"
+    lines.append(header)
+    lines.append("|" + "---|" * (len(series_list) + 1))
+    for i, x in enumerate(xs):
+        row = [f"{x:g}"]
+        for s in series_list:
+            lookup = dict(zip(s["x"], s["y"]))
+            row.append(f"{lookup[x]:g}" if x in lookup else "")
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def render_report(results: Dict[str, dict],
+                  title: str = "Reproduction report") -> str:
+    """One markdown document: findings + data tables per figure."""
+    lines = [f"# {title}", ""]
+    total = passed = 0
+    for payload in results.values():
+        for finding in payload["findings"]:
+            total += 1
+            passed += bool(finding["passed"])
+    lines.append(f"Shape criteria passing: **{passed}/{total}**.")
+    lines.append("")
+    for name, payload in results.items():
+        lines.append(f"## {name} — {payload['title']}")
+        lines.append("")
+        if payload.get("notes"):
+            notes = ", ".join(f"{k}={v}"
+                              for k, v in sorted(payload["notes"].items()))
+            lines.append(f"*{notes}*")
+            lines.append("")
+        for finding in payload["findings"]:
+            status = "PASS" if finding["passed"] else "FAIL"
+            lines.append(
+                f"- **[{status}]** {finding['criterion']} "
+                f"({finding['detail']})")
+        lines.append("")
+        for panel_name, panel in payload.get("panels", {}).items():
+            table = _series_table(panel)
+            if table:
+                lines.append(f"### {panel_name}")
+                lines.append("")
+                lines.extend(table)
+                lines.append("")
+        lines.append(
+            f"_regenerated in {payload.get('elapsed_s', '?')} s_")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(directory: str | Path,
+                 output: Optional[str | Path] = None) -> Path:
+    """Load results from ``directory`` and write the report next to
+    them (default ``<directory>/REPORT.md``)."""
+    directory = Path(directory)
+    results = load_results(directory)
+    path = Path(output) if output else directory / "REPORT.md"
+    path.write_text(render_report(results))
+    return path

@@ -1,0 +1,127 @@
+"""Sensitivity analysis of the analytical throughput model.
+
+Which host parameter buys the most throughput back?  For each knob the
+paper's §4 discusses (PCIe credits, DMA latency, walk latency, PCIe
+goodput, IOTLB capacity via the miss rate), compute the local
+elasticity of the Little's-law bound: the % change in throughput per
+% change in the parameter, at a chosen operating point.
+
+Pure model arithmetic — instant, no simulation — so it is usable for
+capacity-planning sweeps (see ``examples/future_hosts.py``) and is
+cross-checked against the simulator by the validation bench.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.config import ExperimentConfig
+from repro.core.model import ThroughputModel
+
+__all__ = ["Elasticity", "sensitivity_analysis"]
+
+
+@dataclass(frozen=True)
+class Elasticity:
+    """Local elasticity of app throughput w.r.t. one parameter."""
+
+    parameter: str
+    baseline_value: float
+    baseline_gbps: float
+    perturbed_gbps: float
+    #: d(log throughput) / d(log parameter), two-sided estimate.
+    elasticity: float
+
+    def __str__(self) -> str:
+        return (f"{self.parameter}: elasticity {self.elasticity:+.2f} "
+                f"({self.baseline_gbps:.1f} → {self.perturbed_gbps:.1f} "
+                f"Gbps at +10%)")
+
+
+def _perturb_config(config: ExperimentConfig, parameter: str,
+                    factor: float) -> ExperimentConfig:
+    host = config.host
+    if parameter == "pcie_credits":
+        pcie = dataclasses.replace(
+            host.pcie, max_inflight_bytes=int(
+                host.pcie.max_inflight_bytes * factor))
+        return dataclasses.replace(
+            config, host=dataclasses.replace(host, pcie=pcie))
+    if parameter == "dma_fixed_latency":
+        pcie = dataclasses.replace(
+            host.pcie, dma_fixed_latency=host.pcie.dma_fixed_latency
+            * factor)
+        return dataclasses.replace(
+            config, host=dataclasses.replace(host, pcie=pcie))
+    if parameter == "pcie_goodput":
+        pcie = dataclasses.replace(
+            host.pcie,
+            goodput_bps=host.pcie.goodput_bps * factor,
+            raw_bps=max(host.pcie.raw_bps,
+                        host.pcie.goodput_bps * factor))
+        return dataclasses.replace(
+            config, host=dataclasses.replace(host, pcie=pcie))
+    if parameter == "walk_latency":
+        memory = dataclasses.replace(
+            host.memory,
+            walk_base_latency=host.memory.walk_base_latency * factor)
+        return dataclasses.replace(
+            config, host=dataclasses.replace(host, memory=memory))
+    if parameter == "core_rate":
+        cpu = dataclasses.replace(
+            host.cpu, core_rate_bps=host.cpu.core_rate_bps * factor)
+        return dataclasses.replace(
+            config, host=dataclasses.replace(host, cpu=cpu))
+    raise ValueError(f"unknown parameter {parameter!r}")
+
+
+_BASELINE_VALUES: Dict[str, Callable[[ExperimentConfig], float]] = {
+    "pcie_credits": lambda c: float(c.host.pcie.max_inflight_bytes),
+    "dma_fixed_latency": lambda c: c.host.pcie.dma_fixed_latency,
+    "pcie_goodput": lambda c: c.host.pcie.goodput_bps,
+    "walk_latency": lambda c: c.host.memory.walk_base_latency,
+    "core_rate": lambda c: c.host.cpu.core_rate_bps,
+}
+
+
+def sensitivity_analysis(
+    config: ExperimentConfig,
+    misses_per_packet: float,
+    memory_utilization: float = 0.15,
+    parameters: List[str] | None = None,
+    step: float = 0.10,
+) -> List[Elasticity]:
+    """Two-sided elasticities at the given operating point.
+
+    ``misses_per_packet`` pins the operating point (e.g. the measured
+    value at 16 cores); a positive elasticity means "more of this
+    parameter, more throughput".
+    """
+    if step <= 0 or step >= 1:
+        raise ValueError(f"step must be in (0, 1), got {step}")
+    names = parameters or list(_BASELINE_VALUES)
+    base = ThroughputModel(config).predict(
+        misses_per_packet, memory_utilization)
+    out: List[Elasticity] = []
+    for name in names:
+        up = ThroughputModel(
+            _perturb_config(config, name, 1 + step)).predict(
+            misses_per_packet, memory_utilization)
+        down = ThroughputModel(
+            _perturb_config(config, name, 1 - step)).predict(
+            misses_per_packet, memory_utilization)
+        # Two-sided log-derivative estimate.
+        import math
+
+        elasticity = (math.log(up) - math.log(down)) / (
+            math.log(1 + step) - math.log(1 - step))
+        out.append(Elasticity(
+            parameter=name,
+            baseline_value=_BASELINE_VALUES[name](config),
+            baseline_gbps=base / 1e9,
+            perturbed_gbps=up / 1e9,
+            elasticity=elasticity,
+        ))
+    return sorted(out, key=lambda e: abs(e.elasticity), reverse=True)

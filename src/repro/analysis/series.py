@@ -1,0 +1,56 @@
+"""Named (x, y) series extracted from result tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.core.results import ResultTable
+
+__all__ = ["Series", "series_from_table"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve."""
+
+    label: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x values but "
+                f"{len(self.y)} y values")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def ymax(self) -> float:
+        return max(self.y) if self.y else 0.0
+
+    def ymin(self) -> float:
+        return min(self.y) if self.y else 0.0
+
+    def sorted_by_x(self) -> "Series":
+        pairs = sorted(zip(self.x, self.y))
+        return Series(
+            self.label,
+            tuple(p[0] for p in pairs),
+            tuple(p[1] for p in pairs),
+        )
+
+
+def series_from_table(
+    table: ResultTable,
+    x_key: str,
+    y_key: str,
+    label: str,
+    **where: Any,
+) -> Series:
+    """Build a series from the rows of ``table`` matching ``where``."""
+    rows = table.where(**where) if where else table
+    xs = [float(v) for v in rows.column(x_key)]
+    ys = [float(v) for v in rows.column(y_key)]
+    return Series(label, tuple(xs), tuple(ys)).sorted_by_x()

@@ -1,0 +1,141 @@
+"""ASCII plots: terminal-friendly rendering of figure series.
+
+No plotting library is assumed; every figure in the benchmark harness
+renders through these functions (and also exports CSV for anyone who
+wants to re-plot with real tooling).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.series import Series
+
+__all__ = ["line_plot", "scatter_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(int(pos * (size - 1) + 0.5), size - 1)
+
+
+def _bounds(values: Sequence[float]) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:  # avoid zero span
+        pad = abs(lo) * 0.1 or 1.0
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def _render(
+    grid: List[List[str]],
+    x_lo: float,
+    x_hi: float,
+    y_lo: float,
+    y_hi: float,
+    title: str,
+    x_label: str,
+    y_label: str,
+    legend: List[Tuple[str, str]],
+) -> str:
+    height = len(grid)
+    width = len(grid[0])
+    lines = [f"  {title}"]
+    for row_index, row in enumerate(grid):
+        y_value = y_hi - (y_hi - y_lo) * row_index / (height - 1)
+        prefix = f"{y_value:10.3g} |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    left = f"{x_lo:.3g}"
+    right = f"{x_hi:.3g}"
+    gap = max(width - len(left) - len(right), 1)
+    lines.append(" " * 12 + left + " " * gap + right)
+    lines.append(" " * 12 + f"[x: {x_label}]  [y: {y_label}]")
+    for marker, label in legend:
+        lines.append(f"    {marker} = {label}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    series_list: Sequence[Series],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 64,
+    height: int = 18,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render one or more series as an ASCII chart."""
+    if not series_list:
+        raise ValueError("need at least one series")
+    all_x = [v for s in series_list for v in s.x]
+    all_y = [v for s in series_list for v in s.y]
+    if not all_x:
+        raise ValueError("series contain no points")
+    x_lo, x_hi = _bounds(all_x)
+    y_lo, y_hi = _bounds(all_y)
+    if y_min is not None:
+        y_lo = y_min
+    if y_max is not None:
+        y_hi = y_max
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, series in enumerate(series_list):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append((marker, series.label))
+        points = sorted(zip(series.x, series.y))
+        cols: dict[int, int] = {}
+        for x, y in points:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(
+                min(max(y, y_lo), y_hi), y_lo, y_hi, height)
+            cols[col] = row
+        # Connect consecutive columns with vertical fills.
+        prev = None
+        for col in sorted(cols):
+            row = cols[col]
+            grid[row][col] = marker
+            if prev is not None:
+                pcol, prow = prev
+                if col - pcol >= 1 and prow != row:
+                    step = 1 if row > prow else -1
+                    for r in range(prow + step, row, step):
+                        mid = pcol + (col - pcol) * (r - prow) // (
+                            row - prow)
+                        if grid[r][mid] == " ":
+                            grid[r][mid] = "."
+            prev = (col, row)
+    return _render(grid, x_lo, x_hi, y_lo, y_hi, title, x_label,
+                   y_label, legend)
+
+
+def scatter_plot(
+    points: Sequence[Tuple[float, float]],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 64,
+    height: int = 18,
+    marker: str = "o",
+) -> str:
+    """Render a point cloud (the Fig. 1 fleet scatter)."""
+    if not points:
+        raise ValueError("need at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = _bounds(xs)
+    y_lo, y_hi = _bounds(ys)
+    if all(y >= 0 for y in ys):
+        y_lo = max(y_lo, 0.0)  # drop rates never go negative
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(y, y_lo, y_hi, height)
+        grid[row][col] = marker
+    return _render(grid, x_lo, x_hi, y_lo, y_hi, title, x_label,
+                   y_label, [(marker, f"{len(points)} hosts")])

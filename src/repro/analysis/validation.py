@@ -1,0 +1,122 @@
+"""Cross-validation of the simulator against the analytical model.
+
+The Little's-law model (:mod:`repro.core.model`) and the packet-level
+simulator are independent implementations of the same physics; running
+both over a grid of operating points and comparing them is the
+repository's internal consistency check (and reproduces the paper's
+"observed throughput closely matches the above model").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.config import CpuConfig, ExperimentConfig
+from repro.core.experiment import run_experiment
+from repro.core.model import ThroughputModel
+from repro.core.sweep import baseline_config
+
+__all__ = ["ValidationPoint", "ValidationReport", "validate_model"]
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One operating point: measured vs model-predicted throughput."""
+
+    cores: int
+    iommu: bool
+    antagonist_cores: int
+    measured_gbps: float
+    predicted_gbps: float
+    misses_per_packet: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.measured_gbps == 0:
+            return float("inf")
+        return abs(self.predicted_gbps - self.measured_gbps) \
+            / self.measured_gbps
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    points: List[ValidationPoint]
+
+    @property
+    def max_error(self) -> float:
+        return max(p.relative_error for p in self.points)
+
+    @property
+    def mean_error(self) -> float:
+        return sum(p.relative_error for p in self.points) / len(
+            self.points)
+
+    def worst(self) -> ValidationPoint:
+        return max(self.points, key=lambda p: p.relative_error)
+
+    def render(self) -> str:
+        lines = [
+            f"{'cores':>6} {'iommu':>6} {'antag':>6} {'measured':>9} "
+            f"{'model':>9} {'err %':>6}"
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.cores:>6} {str(p.iommu):>6} "
+                f"{p.antagonist_cores:>6} {p.measured_gbps:>9.1f} "
+                f"{p.predicted_gbps:>9.1f} "
+                f"{p.relative_error * 100:>6.1f}")
+        lines.append(
+            f"mean error {self.mean_error * 100:.1f} %, "
+            f"max {self.max_error * 100:.1f} %")
+        return "\n".join(lines)
+
+
+def validate_model(
+    cores: Sequence[int] = (4, 8, 12, 16),
+    iommu_states: Sequence[bool] = (True, False),
+    antagonists: Sequence[int] = (0,),
+    warmup: float = 4e-3,
+    duration: float = 8e-3,
+    seed: int = 1,
+) -> ValidationReport:
+    """Run the grid in simulation and through the model; compare.
+
+    The model is fed the *measured* miss rate and memory utilization
+    (it predicts throughput given translation behaviour, not the
+    translation behaviour itself).
+    """
+    points: List[ValidationPoint] = []
+    for antagonist in antagonists:
+        for iommu in iommu_states:
+            for n in cores:
+                base = baseline_config(warmup=warmup, duration=duration,
+                                       seed=seed)
+                config = dataclasses.replace(
+                    base,
+                    host=dataclasses.replace(
+                        base.host,
+                        cpu=CpuConfig(cores=n),
+                        iommu=dataclasses.replace(
+                            base.host.iommu, enabled=iommu),
+                        antagonist_cores=antagonist,
+                    ))
+                result = run_experiment(config)
+                model = ThroughputModel(config)
+                predicted = model.predict(
+                    misses_per_packet=result.metrics[
+                        "iotlb_misses_per_packet"],
+                    memory_utilization=result.metrics[
+                        "memory_utilization"],
+                )
+                points.append(ValidationPoint(
+                    cores=n,
+                    iommu=iommu,
+                    antagonist_cores=antagonist,
+                    measured_gbps=result.metrics["app_throughput_gbps"],
+                    predicted_gbps=predicted / 1e9,
+                    misses_per_packet=result.metrics[
+                        "iotlb_misses_per_packet"],
+                ))
+    return ValidationReport(points)

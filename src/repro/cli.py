@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``     — one experiment at a chosen operating point, print gauges
+- ``sweep``   — sweep cores / region size / antagonists, print a table
+- ``figure``  — regenerate one paper figure (ASCII + CSV + shape checks)
+- ``fleet``   — sample a heterogeneous fleet (Fig. 1) and print scatter
+- ``model``   — evaluate the analytical model at a grid of miss rates
+
+Every command prints to stdout and returns a process exit code, so the
+CLI composes with shell pipelines and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.core.config import (
+    CpuConfig,
+    ExperimentConfig,
+    HostConfig,
+    IommuConfig,
+    SimConfig,
+    WorkloadConfig,
+)
+from repro.core.experiment import run_experiment
+from repro.core.model import ThroughputModel
+from repro.core.sweep import (
+    baseline_config,
+    sweep_antagonist_cores,
+    sweep_receiver_cores,
+    sweep_region_size,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def _host_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=12,
+                        help="receiver threads/cores (default 12)")
+    parser.add_argument("--no-iommu", action="store_true",
+                        help="disable the IOMMU (no translation)")
+    parser.add_argument("--no-hugepages", action="store_true",
+                        help="4 KB data mappings instead of 2 MB")
+    parser.add_argument("--antagonists", type=int, default=0,
+                        help="STREAM antagonist cores (default 0)")
+    parser.add_argument("--region-mb", type=int, default=12,
+                        help="Rx region per thread, MB (default 12)")
+    parser.add_argument("--senders", type=int, default=40,
+                        help="sender machines (default 40)")
+    parser.add_argument("--transport", default="swift",
+                        choices=("swift", "dctcp", "cubic", "hostcc", "timely"))
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--warmup-ms", type=float, default=5.0)
+    parser.add_argument("--duration-ms", type=float, default=10.0)
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        host=HostConfig(
+            cpu=CpuConfig(cores=args.cores),
+            iommu=IommuConfig(enabled=not args.no_iommu),
+            hugepages=not args.no_hugepages,
+            antagonist_cores=args.antagonists,
+            rx_region_bytes=args.region_mb * 2**20,
+        ),
+        workload=WorkloadConfig(senders=args.senders),
+        transport=args.transport,
+        sim=SimConfig(warmup=args.warmup_ms * 1e-3,
+                      duration=args.duration_ms * 1e-3,
+                      seed=args.seed),
+    )
+
+
+def _print_result(result) -> None:
+    m = result.metrics
+    rows = [
+        ("app throughput (Gbps)", f"{m['app_throughput_gbps']:.1f}"),
+        ("link utilization", f"{m['link_utilization'] * 100:.1f} %"),
+        ("drop rate", f"{m['drop_rate'] * 100:.2f} %"),
+        ("IOTLB misses/packet", f"{m['iotlb_misses_per_packet']:.2f}"),
+        ("mean DMA latency (us)", f"{m['mean_dma_latency_us']:.2f}"),
+        ("mean NIC delay (us)", f"{m['mean_nic_delay_us']:.1f}"),
+        ("memory bandwidth (GB/s)", f"{m['memory_total_GBps']:.1f}"),
+        ("memory utilization", f"{m['memory_utilization']:.2f}"),
+        ("retransmissions", f"{m['retransmissions']:.0f}"),
+        ("read p99 latency (us)",
+         f"{result.message_latency_us['p99']:.1f}"),
+    ]
+    width = max(len(k) for k, _ in rows)
+    for key, value in rows:
+        print(f"  {key:<{width}} : {value}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    print(f"running: {config.describe()}")
+    result = run_experiment(config)
+    _print_result(result)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    base = baseline_config(
+        warmup=args.warmup_ms * 1e-3,
+        duration=args.duration_ms * 1e-3,
+        seed=args.seed,
+    )
+    if args.axis == "cores":
+        table = sweep_receiver_cores(cores=tuple(args.values), base=base)
+        x_key = "cores"
+    elif args.axis == "region":
+        table = sweep_region_size(
+            region_mb=tuple(int(v) for v in args.values), base=base)
+        x_key = "rx_region_mb"
+    else:
+        table = sweep_antagonist_cores(
+            antagonists=tuple(int(v) for v in args.values), base=base)
+        x_key = "antagonist_cores"
+    header = (f"{x_key:>16} {'iommu':>6} {'tput Gbps':>10} "
+              f"{'drop %':>7} {'misses/pkt':>11} {'mem GB/s':>9}")
+    print(header)
+    print("-" * len(header))
+    for result in table:
+        m = result.metrics
+        print(f"{result.params[x_key]:>16} "
+              f"{str(result.params['iommu']):>6} "
+              f"{m['app_throughput_gbps']:>10.1f} "
+              f"{m['drop_rate'] * 100:>7.2f} "
+              f"{m['iotlb_misses_per_packet']:>11.2f} "
+              f"{m['memory_total_GBps']:>9.1f}")
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.analysis import figures
+    from repro.analysis.compare import check_figure
+
+    fn = {
+        "1": lambda: figures.figure1(n_hosts=args.hosts,
+                                     quality=args.quality),
+        "3": lambda: figures.figure3(quality=args.quality),
+        "4": lambda: figures.figure4(quality=args.quality),
+        "5": lambda: figures.figure5(quality=args.quality),
+        "6": lambda: figures.figure6(quality=args.quality),
+    }[args.number]
+    fig = fn()
+    print(fig.render())
+    findings = check_figure(fig)
+    print()
+    for finding in findings:
+        print(finding)
+    if args.out:
+        paths = fig.to_csv_dir(args.out)
+        print(f"wrote {len(paths)} CSV files to {args.out}")
+    return 0 if all(f.passed for f in findings) else 1
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.analysis.text_plots import scatter_plot
+    from repro.workload.fleet import FleetSampler
+
+    sampler = FleetSampler(seed=args.seed,
+                           warmup=args.warmup_ms * 1e-3,
+                           duration=args.duration_ms * 1e-3)
+    samples = sampler.run(args.hosts)
+    points = [(s.link_utilization, s.drop_rate) for s in samples]
+    print(scatter_plot(points, title="fleet drop rate vs utilization",
+                       x_label="link utilization", y_label="drop rate"))
+    droppers = sum(1 for s in samples if s.drop_rate > 1e-4)
+    print(f"\n{droppers}/{len(samples)} hosts dropping")
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    config = baseline_config()
+    config = dataclasses.replace(
+        config, host=dataclasses.replace(
+            config.host, cpu=CpuConfig(cores=args.cores)))
+    model = ThroughputModel(config)
+    print(f"{'misses/pkt':>11} {'bound (Gbps)':>13}")
+    for misses_x10 in range(0, 61, 5):
+        misses = misses_x10 / 10
+        bound = model.predict(misses,
+                              memory_utilization=args.memory_util)
+        print(f"{misses:>11.1f} {bound / 1e9:>13.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Host interconnect congestion simulator "
+                    "(HotNets '22 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    _host_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="sweep one axis")
+    p_sweep.add_argument("axis", choices=("cores", "region",
+                                          "antagonists"))
+    p_sweep.add_argument("values", type=int, nargs="+")
+    p_sweep.add_argument("--csv", help="also write results to CSV")
+    p_sweep.add_argument("--seed", type=int, default=1)
+    p_sweep.add_argument("--warmup-ms", type=float, default=5.0)
+    p_sweep.add_argument("--duration-ms", type=float, default=10.0)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", choices=("1", "3", "4", "5", "6"))
+    p_fig.add_argument("--quality", default="quick",
+                       choices=("quick", "full"))
+    p_fig.add_argument("--hosts", type=int, default=60,
+                       help="fleet size for figure 1")
+    p_fig.add_argument("--out", help="directory for CSV export")
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_fleet = sub.add_parser("fleet", help="sample a fleet (Fig. 1)")
+    p_fleet.add_argument("--hosts", type=int, default=30)
+    p_fleet.add_argument("--seed", type=int, default=7)
+    p_fleet.add_argument("--warmup-ms", type=float, default=3.0)
+    p_fleet.add_argument("--duration-ms", type=float, default=6.0)
+    p_fleet.set_defaults(func=cmd_fleet)
+
+    p_model = sub.add_parser("model",
+                             help="evaluate the analytical bound")
+    p_model.add_argument("--cores", type=int, default=16)
+    p_model.add_argument("--memory-util", type=float, default=0.15)
+    p_model.set_defaults(func=cmd_model)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The paper's contribution as a library: configuration, calibration,
+analytical models, the experiment runner, sweeps, and metrics."""
+
+from repro.core.config import (
+    CpuConfig,
+    DdioConfig,
+    ExperimentConfig,
+    HostConfig,
+    IommuConfig,
+    LinkConfig,
+    MemoryConfig,
+    NicConfig,
+    PcieConfig,
+    SimConfig,
+    SwiftConfig,
+    WorkloadConfig,
+)
+
+__all__ = [
+    "CpuConfig",
+    "DdioConfig",
+    "ExperimentConfig",
+    "HostConfig",
+    "IommuConfig",
+    "LinkConfig",
+    "MemoryConfig",
+    "NicConfig",
+    "PcieConfig",
+    "SimConfig",
+    "SwiftConfig",
+    "WorkloadConfig",
+]

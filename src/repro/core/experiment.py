@@ -1,0 +1,90 @@
+"""Experiment runner: config in, metrics out.
+
+Builds the full simulation graph (host + fabric + transport), runs the
+warmup, resets all window counters, runs the measurement window, and
+collects every headline metric of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import ExperimentConfig
+from repro.core.metrics import summarize
+from repro.core.results import ExperimentResult
+from repro.sim.engine import Simulator
+from repro.workload.remote_read import RemoteReadWorkload
+
+__all__ = ["run_experiment", "ExperimentHandle"]
+
+
+class ExperimentHandle:
+    """A built-but-not-finished experiment, for callers that want to
+    probe mid-run state (time series, convergence tests)."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.workload = RemoteReadWorkload(self.sim, config)
+        self.host = self.workload.host
+        self._measuring = False
+
+    def run_warmup(self) -> None:
+        self.sim.run(until=self.config.sim.warmup)
+        self.host.reset_stats()
+        self.workload.reset_stats()
+        self._measuring = True
+
+    def run_measurement(self) -> None:
+        if not self._measuring:
+            self.run_warmup()
+        self.sim.run(until=self.config.sim.end_time)
+
+    def collect(self) -> ExperimentResult:
+        host = self.host
+        workload = self.workload
+        metrics: Dict[str, float] = host.snapshot()
+        metrics.update(
+            {
+                "packets_sent": float(workload.total_packets_sent()),
+                "retransmissions": float(workload.total_retransmissions()),
+                "timeouts": float(workload.total_timeouts()),
+                "mean_cwnd": workload.mean_cwnd(),
+                "fabric_drops": float(workload.fabric.fabric_drops()),
+                "messages_completed": float(
+                    workload.receiver.messages_completed()),
+                "link_utilization":
+                    metrics["wire_arrival_gbps"] * 1e9
+                    / self.config.link.rate_bps,
+            }
+        )
+        latencies = workload.receiver.all_message_latencies()
+        latency_summary = summarize([v * 1e6 for v in latencies])
+        return ExperimentResult(
+            params=self.config.describe(),
+            metrics=metrics,
+            message_latency_us={
+                "p50": latency_summary.p50,
+                "p90": latency_summary.p90,
+                "p99": latency_summary.p99,
+                "mean": latency_summary.mean,
+            },
+        )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    handle_out: Optional[list] = None,
+) -> ExperimentResult:
+    """Run one experiment end to end and return its result.
+
+    ``handle_out``, if given, receives the :class:`ExperimentHandle`
+    (for tests that want to inspect internal component state after the
+    run).
+    """
+    handle = ExperimentHandle(config)
+    if handle_out is not None:
+        handle_out.append(handle)
+    handle.run_warmup()
+    handle.run_measurement()
+    return handle.collect()

@@ -1,0 +1,113 @@
+"""Experiment result records and CSV/JSON serialization."""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "ResultTable"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one experiment run produced.
+
+    ``params`` is the flat description of varied knobs (from
+    ``ExperimentConfig.describe``); ``metrics`` is the host snapshot
+    plus transport-level aggregates.
+    """
+
+    params: Dict[str, Any]
+    metrics: Dict[str, float]
+    message_latency_us: Dict[str, float] = field(default_factory=dict)
+
+    def value(self, key: str) -> Any:
+        """Look up a metric or parameter by name (metrics win ties)."""
+        if key in self.metrics:
+            return self.metrics[key]
+        if key in self.params:
+            return self.params[key]
+        if key in self.message_latency_us:
+            return self.message_latency_us[key]
+        raise KeyError(key)
+
+    def as_flat_dict(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = dict(self.params)
+        row.update(self.metrics)
+        row.update(
+            {f"msg_latency_{k}_us": v
+             for k, v in self.message_latency_us.items()}
+        )
+        return row
+
+
+class ResultTable:
+    """An ordered collection of results with CSV/JSON export."""
+
+    def __init__(self, results: Sequence[ExperimentResult] = ()):
+        self.results: List[ExperimentResult] = list(results)
+
+    def append(self, result: ExperimentResult) -> None:
+        self.results.append(result)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def column(self, key: str) -> List[Any]:
+        return [r.value(key) for r in self.results]
+
+    def where(self, **conditions: Any) -> "ResultTable":
+        """Results whose params match all of ``conditions``."""
+        return ResultTable(
+            [
+                r for r in self.results
+                if all(r.params.get(k) == v for k, v in conditions.items())
+            ]
+        )
+
+    def to_csv(self, path: str | Path) -> None:
+        rows = [r.as_flat_dict() for r in self.results]
+        if not rows:
+            raise ValueError("cannot write an empty result table")
+        fieldnames: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in fieldnames:
+                    fieldnames.append(key)
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(rows)
+
+    def to_json(self, path: str | Path) -> None:
+        payload = [
+            {
+                "params": r.params,
+                "metrics": r.metrics,
+                "message_latency_us": r.message_latency_us,
+            }
+            for r in self.results
+        ]
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1)
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ResultTable":
+        with open(path) as fh:
+            payload = json.load(fh)
+        return cls(
+            [
+                ExperimentResult(
+                    params=entry["params"],
+                    metrics=entry["metrics"],
+                    message_latency_us=entry.get("message_latency_us", {}),
+                )
+                for entry in payload
+            ]
+        )

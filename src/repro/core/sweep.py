@@ -1,0 +1,123 @@
+"""Parameter sweeps over experiment configurations.
+
+Each paper figure is a sweep along one axis with everything else at the
+baseline; these helpers build the config lists and run them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.core.config import (
+    CpuConfig,
+    ExperimentConfig,
+    HostConfig,
+    IommuConfig,
+    SimConfig,
+)
+from repro.core.experiment import run_experiment
+from repro.core.results import ExperimentResult, ResultTable
+
+__all__ = [
+    "baseline_config",
+    "run_sweep",
+    "sweep_antagonist_cores",
+    "sweep_receiver_cores",
+    "sweep_region_size",
+]
+
+
+def baseline_config(
+    warmup: float = 6e-3,
+    duration: float = 12e-3,
+    seed: int = 1,
+    **host_overrides,
+) -> ExperimentConfig:
+    """The paper's §3 baseline: 40 senders, 12 receiver cores, IOMMU on,
+    hugepages on, 12 MB regions, Swift."""
+    return ExperimentConfig(
+        host=HostConfig(cpu=CpuConfig(cores=12), **host_overrides),
+        sim=SimConfig(warmup=warmup, duration=duration, seed=seed),
+    )
+
+
+def _with_host(config: ExperimentConfig, **changes) -> ExperimentConfig:
+    return dataclasses.replace(
+        config, host=dataclasses.replace(config.host, **changes))
+
+
+def _with_cores(config: ExperimentConfig, cores: int) -> ExperimentConfig:
+    return _with_host(
+        config, cpu=dataclasses.replace(config.host.cpu, cores=cores))
+
+
+def _with_iommu(config: ExperimentConfig, enabled: bool) -> ExperimentConfig:
+    return _with_host(
+        config,
+        iommu=dataclasses.replace(config.host.iommu, enabled=enabled))
+
+
+def run_sweep(
+    configs: Iterable[ExperimentConfig],
+    progress: Optional[Callable[[int, ExperimentResult], None]] = None,
+) -> ResultTable:
+    """Run each config and collect results."""
+    table = ResultTable()
+    for index, config in enumerate(configs):
+        result = run_experiment(config)
+        table.append(result)
+        if progress is not None:
+            progress(index, result)
+    return table
+
+
+def sweep_receiver_cores(
+    cores: Sequence[int] = (2, 4, 6, 8, 10, 12, 14, 16),
+    iommu_states: Sequence[bool] = (True, False),
+    base: Optional[ExperimentConfig] = None,
+    hugepages: Optional[bool] = None,
+    progress=None,
+) -> ResultTable:
+    """Figures 3 and 4: throughput/drops/misses vs receiver cores."""
+    base = base or baseline_config()
+    if hugepages is not None:
+        base = _with_host(base, hugepages=hugepages)
+    configs: List[ExperimentConfig] = []
+    for enabled in iommu_states:
+        for n in cores:
+            configs.append(_with_cores(_with_iommu(base, enabled), n))
+    return run_sweep(configs, progress)
+
+
+def sweep_region_size(
+    region_mb: Sequence[int] = (4, 8, 12, 16),
+    iommu_states: Sequence[bool] = (True, False),
+    base: Optional[ExperimentConfig] = None,
+    progress=None,
+) -> ResultTable:
+    """Figure 5: throughput/drops/misses vs Rx memory region size."""
+    base = base or baseline_config()
+    configs = [
+        _with_host(_with_iommu(base, enabled),
+                   rx_region_bytes=mb * 2**20)
+        for enabled in iommu_states
+        for mb in region_mb
+    ]
+    return run_sweep(configs, progress)
+
+
+def sweep_antagonist_cores(
+    antagonists: Sequence[int] = (0, 1, 2, 4, 6, 8, 10, 12, 14, 15),
+    iommu_states: Sequence[bool] = (False, True),
+    base: Optional[ExperimentConfig] = None,
+    progress=None,
+) -> ResultTable:
+    """Figure 6: throughput/memory bandwidth/drops vs STREAM cores."""
+    base = base or baseline_config()
+    configs = [
+        _with_host(_with_iommu(base, enabled), antagonist_cores=n)
+        for enabled in iommu_states
+        for n in antagonists
+    ]
+    return run_sweep(configs, progress)

@@ -1,0 +1,47 @@
+"""The host interconnect: every component on the NIC-to-CPU datapath.
+
+This package is the simulated substitute for the paper's hardware
+testbed (Fig. 2): NIC input buffer and Rx rings, PCIe link with
+credit-based flow control, IOMMU with IOTLB and page-table walker,
+the memory controller shared between CPU traffic and NIC DMA, DDIO,
+receiver threads, and the STREAM memory antagonist.
+"""
+
+from repro.host.addressing import (
+    PAGE_4K,
+    PAGE_2M,
+    AddressSpaceAllocator,
+    Region,
+    ThreadLayout,
+    build_thread_layouts,
+)
+from repro.host.antagonist import StreamAntagonist
+from repro.host.cpu import ReceiverThread
+from repro.host.host import ReceiverHost
+from repro.host.iommu import Iommu, TranslationResult
+from repro.host.iotlb import Iotlb
+from repro.host.memory import MemoryController, TrafficCounter
+from repro.host.nic import Nic, RxRing
+from repro.host.pagetable import PageTable
+from repro.host.pcie import PcieLink
+
+__all__ = [
+    "AddressSpaceAllocator",
+    "Iommu",
+    "Iotlb",
+    "MemoryController",
+    "Nic",
+    "PAGE_2M",
+    "PAGE_4K",
+    "PageTable",
+    "PcieLink",
+    "ReceiverHost",
+    "ReceiverThread",
+    "Region",
+    "RxRing",
+    "StreamAntagonist",
+    "ThreadLayout",
+    "TrafficCounter",
+    "TranslationResult",
+    "build_thread_layouts",
+]

@@ -1,0 +1,248 @@
+"""IOMMU-visible address space: pages, regions, and per-thread layouts.
+
+The network stack registers a fixed set of mappings with the IOMMU up
+front ("loose mode", paper §3.1): per receiver thread, one data region
+(2 MB hugepage or 4 KB mappings) plus a handful of 4 KB control pages
+(Rx/Tx descriptor rings, completion rings, ACK staging buffers).  The
+NIC touches a subset of these pages for every packet; which subset is
+what drives IOTLB behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = [
+    "PAGE_4K",
+    "PAGE_2M",
+    "AddressSpaceAllocator",
+    "Region",
+    "ThreadLayout",
+    "build_thread_layouts",
+]
+
+PAGE_4K = 4096
+PAGE_2M = 2 * 2**20
+
+#: Rx descriptors per 4 KB ring page (32 B descriptors).
+_DESCS_PER_PAGE = 128
+#: Completion entries per 4 KB ring page (16 B entries).
+_COMPLETIONS_PER_PAGE = 256
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous IOMMU-mapped virtual region with uniform page size.
+
+    A page is identified by its starting virtual address (regions are
+    disjoint, so page start addresses are globally unique keys).
+    """
+
+    base: int
+    size: int
+    page_size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region size must be positive, got {self.size}")
+        if self.page_size not in (PAGE_4K, PAGE_2M):
+            raise ValueError(f"unsupported page size {self.page_size}")
+        if self.base % self.page_size != 0:
+            raise ValueError(
+                f"base {self.base:#x} not aligned to page size {self.page_size}"
+            )
+        if self.size % self.page_size != 0:
+            raise ValueError(
+                f"size {self.size} not a multiple of page size {self.page_size}"
+            )
+
+    @property
+    def num_pages(self) -> int:
+        return self.size // self.page_size
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def page_key(self, offset: int) -> int:
+        """Page (start address) containing ``offset`` into the region."""
+        if not 0 <= offset < self.size:
+            raise ValueError(f"offset {offset} outside region of {self.size}")
+        return self.base + (offset // self.page_size) * self.page_size
+
+    def page_keys(self) -> List[int]:
+        """All page start addresses in the region."""
+        return [self.base + i * self.page_size for i in range(self.num_pages)]
+
+    def span_keys(self, offset: int, length: int) -> List[int]:
+        """Pages covering ``[offset, offset + length)``."""
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        first = self.page_key(offset)
+        last = self.page_key(min(offset + length - 1, self.size - 1))
+        return [
+            addr for addr in range(first, last + 1, self.page_size)
+        ]
+
+
+class AddressSpaceAllocator:
+    """Bump allocator of disjoint, hugepage-aligned virtual regions."""
+
+    def __init__(self, base: int = 1 << 40):
+        self._next = base
+
+    def allocate(self, size: int, page_size: int) -> Region:
+        # Round the size up to the page size; keep every region aligned
+        # to 2 MB so 4 KB and 2 MB regions can never share a hugepage.
+        size = -(-size // page_size) * page_size
+        base = -(-self._next // PAGE_2M) * PAGE_2M
+        self._next = base + size
+        return Region(base=base, size=size, page_size=page_size)
+
+
+@dataclass(frozen=True)
+class ThreadLayout:
+    """The IOMMU footprint of one receiver thread.
+
+    ``data`` is the Rx buffer pool (payload DMA targets); the ring
+    regions are the 4 KB control pages the NIC touches on every packet.
+    """
+
+    thread_id: int
+    data: Region
+    rx_desc_ring: Region
+    rx_completion_ring: Region
+    tx_desc_ring: Region
+    tx_completion_ring: Region
+    ack_staging: Region
+    conn_state: Region
+    #: Mutable cursor state for ring-page cycling (per 128/256 entries).
+    _cursor: dict = field(default_factory=lambda: {"rx": 0, "tx": 0})
+
+    def all_regions(self) -> Sequence[Region]:
+        return (
+            self.data,
+            self.rx_desc_ring,
+            self.rx_completion_ring,
+            self.tx_desc_ring,
+            self.tx_completion_ring,
+            self.ack_staging,
+            self.conn_state,
+        )
+
+    def total_pages(self) -> int:
+        """Number of IOMMU entries this thread keeps registered."""
+        return sum(region.num_pages for region in self.all_regions())
+
+    def payload_pages(self, rng: random.Random, payload_bytes: int) -> List[int]:
+        """Pages written by one packet's payload DMA.
+
+        Buffers are drawn at random from the thread's pool: the paper
+        attributes IOTLB misses to "lack of locality in IOMMU access
+        patterns — subsequent packets do not necessarily lie in
+        contiguous memory regions".  With 4 KB mappings a 4 KB-MTU
+        packet (payload + metadata) straddles two pages (paper §3.1:
+        "fetching two pages instead of just a single hugepage").
+        """
+        if self.data.page_size == PAGE_2M:
+            offset = rng.randrange(self.data.num_pages) * PAGE_2M
+            return [self.data.page_key(offset)]
+        slots = self.data.num_pages  # one 4 KB slot per page
+        slot = rng.randrange(max(slots - 1, 1))
+        offset = slot * PAGE_4K
+        # payload plus headers/metadata spills into the next page
+        return self.data.span_keys(offset, payload_bytes + PAGE_4K)
+
+    def conn_state_page(self, rng: random.Random) -> int:
+        """Connection-state page touched for one packet.
+
+        Each thread serves one connection per sender (40 by default);
+        their descriptors and state span several pages with packet
+        arrivals interleaved across connections, so the page accessed
+        per packet is effectively random within the pool.
+        """
+        page = rng.randrange(self.conn_state.num_pages)
+        return self.conn_state.page_key(page * PAGE_4K)
+
+    def rx_control_pages(self) -> List[int]:
+        """Descriptor-fetch and completion-write pages for one Rx packet.
+
+        Rings advance sequentially, so the hot page changes every
+        ``_DESCS_PER_PAGE`` packets — control pages have high but not
+        perfect locality.
+        """
+        index = self._cursor["rx"]
+        self._cursor["rx"] = index + 1
+        desc_page = (index // _DESCS_PER_PAGE) % self.rx_desc_ring.num_pages
+        comp_page = (
+            index // _COMPLETIONS_PER_PAGE
+        ) % self.rx_completion_ring.num_pages
+        return [
+            self.rx_desc_ring.page_key(desc_page * PAGE_4K),
+            self.rx_completion_ring.page_key(comp_page * PAGE_4K),
+        ]
+
+    def tx_control_pages(self, rng: random.Random) -> List[int]:
+        """Descriptor, completion, and payload-staging pages for one
+        transmitted ACK (the paper's footnote 3 counts the ACK's PCIe
+        transactions against the same IOTLB)."""
+        index = self._cursor["tx"]
+        self._cursor["tx"] = index + 1
+        desc_page = (index // _DESCS_PER_PAGE) % self.tx_desc_ring.num_pages
+        comp_page = (
+            index // _COMPLETIONS_PER_PAGE
+        ) % self.tx_completion_ring.num_pages
+        staging = rng.randrange(self.ack_staging.num_pages)
+        return [
+            self.tx_desc_ring.page_key(desc_page * PAGE_4K),
+            self.tx_completion_ring.page_key(comp_page * PAGE_4K),
+            self.ack_staging.page_key(staging * PAGE_4K),
+        ]
+
+
+def build_thread_layouts(
+    n_threads: int,
+    rx_region_bytes: int,
+    hugepages: bool,
+    desc_ring_pages: int = 3,
+    completion_ring_pages: int = 2,
+    tx_desc_ring_pages: int = 2,
+    tx_completion_ring_pages: int = 1,
+    ack_staging_pages: int = 2,
+    conn_state_pages: int = 4,
+    allocator: AddressSpaceAllocator | None = None,
+) -> List[ThreadLayout]:
+    """Allocate the full IOMMU footprint for ``n_threads`` threads.
+
+    With the defaults and a 12 MB hugepage data region the *active*
+    footprint is 6 data + 10 control/state = 16 IOMMU entries per
+    thread, so 8 threads exactly fill a 128-entry IOTLB — the knee the
+    paper observes in Fig. 3.
+    """
+    if n_threads < 1:
+        raise ValueError(f"need at least one thread, got {n_threads}")
+    alloc = allocator or AddressSpaceAllocator()
+    data_page = PAGE_2M if hugepages else PAGE_4K
+    layouts = []
+    for tid in range(n_threads):
+        layouts.append(
+            ThreadLayout(
+                thread_id=tid,
+                data=alloc.allocate(rx_region_bytes, data_page),
+                rx_desc_ring=alloc.allocate(
+                    desc_ring_pages * PAGE_4K, PAGE_4K),
+                rx_completion_ring=alloc.allocate(
+                    completion_ring_pages * PAGE_4K, PAGE_4K),
+                tx_desc_ring=alloc.allocate(
+                    tx_desc_ring_pages * PAGE_4K, PAGE_4K),
+                tx_completion_ring=alloc.allocate(
+                    tx_completion_ring_pages * PAGE_4K, PAGE_4K),
+                ack_staging=alloc.allocate(
+                    ack_staging_pages * PAGE_4K, PAGE_4K),
+                conn_state=alloc.allocate(
+                    conn_state_pages * PAGE_4K, PAGE_4K),
+            )
+        )
+    return layouts

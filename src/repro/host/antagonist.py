@@ -1,0 +1,53 @@
+"""STREAM-like memory antagonist.
+
+The paper antagonizes the memory bus with one STREAM instance per
+physical core (§3.2).  For the NIC, what matters is the aggregate
+load the antagonist offers to the memory controller — so the model is
+a constant-rate demand source per core.  Saturation (the sublinear
+bandwidth growth the paper notes beyond ~6 cores) emerges from the
+controller's capacity, not from the antagonist itself.
+"""
+
+from __future__ import annotations
+
+from repro.host.memory import MemoryController
+
+__all__ = ["StreamAntagonist"]
+
+
+class StreamAntagonist:
+    """``cores`` STREAM instances, each offering ``per_core_Bps``."""
+
+    SOURCE_NAME = "stream-antagonist"
+
+    def __init__(
+        self,
+        memory: MemoryController,
+        cores: int,
+        per_core_Bps: float,
+    ):
+        if cores < 0:
+            raise ValueError(f"cores must be non-negative, got {cores}")
+        if per_core_Bps < 0:
+            raise ValueError(f"negative per-core demand {per_core_Bps}")
+        self.memory = memory
+        self.cores = cores
+        self.per_core_Bps = per_core_Bps
+        memory.register_constant(
+            self.SOURCE_NAME, "cpu", cores * per_core_Bps)
+
+    @property
+    def demand_Bps(self) -> float:
+        return self.cores * self.per_core_Bps
+
+    def set_cores(self, cores: int) -> None:
+        """Change the number of antagonist cores at run time."""
+        if cores < 0:
+            raise ValueError(f"cores must be non-negative, got {cores}")
+        self.cores = cores
+        self.memory.set_constant_rate(
+            self.SOURCE_NAME, cores * self.per_core_Bps)
+
+    def achieved_Bps(self) -> float:
+        """Bandwidth the antagonist actually obtained (allocation)."""
+        return self.memory.achieved_bandwidth().get(self.SOURCE_NAME, 0.0)

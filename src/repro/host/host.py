@@ -1,0 +1,218 @@
+"""The assembled receiver host (paper Fig. 2).
+
+Wires every interconnect component together and exposes the three
+interfaces the rest of the system uses:
+
+- the fabric delivers packets via :meth:`ReceiverHost.deliver_packet`;
+- the transport receiver is attached with :meth:`attach_receiver` and
+  gets each packet after CPU processing;
+- ACKs flow back out through :meth:`send_ack`, stamped with the host
+  signals (NIC buffer occupancy, memory utilization) that the §4
+  extension transport consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import HostConfig
+from repro.host.addressing import ThreadLayout, build_thread_layouts
+from repro.host.antagonist import StreamAntagonist
+from repro.host.cache import CopyTrafficModel
+from repro.host.cpu import ReceiverThread
+from repro.host.iommu import Iommu
+from repro.host.iotlb import Iotlb
+from repro.host.memory import MemoryController
+from repro.host.nic import Nic
+from repro.host.pagetable import PageTable
+from repro.host.pcie import PcieLink
+from repro.net.packet import Ack, Packet
+from repro.sim.engine import Simulator
+from repro.sim.resources import CreditPool
+from repro.sim.tracing import Tracer
+
+__all__ = ["ReceiverHost"]
+
+#: How often idle threads return batched descriptors.
+_FLUSH_INTERVAL = 100e-6
+
+
+class ReceiverHost:
+    """One receiver machine: NIC, PCIe, IOMMU, memory, CPU threads."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: HostConfig,
+        rng: random.Random,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.memory = MemoryController(sim, config.memory)
+        self.pagetable = PageTable(config.iommu.walk_cache_entries)
+        self.iotlb = Iotlb(config.iommu.iotlb_entries,
+                           ways=config.iommu.iotlb_ways)
+        self.iommu = Iommu(config.iommu, self.iotlb, self.pagetable,
+                           self.memory)
+        self.layouts: List[ThreadLayout] = build_thread_layouts(
+            config.cpu.cores,
+            config.rx_region_bytes,
+            config.hugepages,
+            desc_ring_pages=config.nic.desc_ring_pages,
+            completion_ring_pages=config.nic.completion_ring_pages,
+            tx_desc_ring_pages=config.nic.tx_desc_ring_pages,
+            tx_completion_ring_pages=config.nic.tx_completion_ring_pages,
+            ack_staging_pages=config.nic.ack_staging_pages,
+            conn_state_pages=config.nic.conn_state_pages,
+        )
+        for layout in self.layouts:
+            for region in layout.all_regions():
+                self.pagetable.register_region(region)
+        self.pcie = PcieLink(sim, config.pcie)
+        self.credits = CreditPool(sim, config.pcie.max_inflight_bytes)
+        self.nic = Nic(
+            sim,
+            config.nic,
+            self.pcie,
+            self.credits,
+            self.iommu,
+            self.memory,
+            self.layouts,
+            rng,
+            deliver=self._on_dma_complete,
+            tracer=tracer,
+        )
+        if config.ddio.dynamic_llc:
+            from repro.host.llc import DynamicLlcModel
+
+            self.copy_model = DynamicLlcModel(config.ddio, self.memory)
+        else:
+            self.copy_model = CopyTrafficModel(config.ddio, self.memory)
+        self.threads: List[ReceiverThread] = [
+            ReceiverThread(
+                sim,
+                thread_id=tid,
+                config=config.cpu,
+                nic=self.nic,
+                memory=self.memory,
+                copy_model=self.copy_model,
+                on_processed=self._on_processed,
+                replenish_batch=config.nic.replenish_batch,
+            )
+            for tid in range(config.cpu.cores)
+        ]
+        self.antagonist = StreamAntagonist(
+            self.memory, config.antagonist_cores,
+            config.antagonist_per_core_Bps)
+        # The second NUMA node: its own memory controller, populated
+        # only by antagonists that were scheduled away from the NIC
+        # (paper §4's coordinated congestion response).
+        self.remote_memory = MemoryController(sim, config.memory)
+        self.remote_antagonist = StreamAntagonist(
+            self.remote_memory, config.remote_antagonist_cores,
+            config.antagonist_per_core_Bps)
+        self._receiver: Optional[Callable[[Packet], None]] = None
+        self._ack_egress: Optional[Callable[[Ack], None]] = None
+        self._stats_since = sim.now
+        sim.call(_FLUSH_INTERVAL, self._flush_tick)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_receiver(self, receiver: Callable[[Packet], None]) -> None:
+        """Transport-layer hook, called once per processed packet."""
+        self._receiver = receiver
+
+    def attach_ack_egress(self, egress: Callable[[Ack], None]) -> None:
+        """Fabric hook for ACKs leaving the host."""
+        self._ack_egress = egress
+
+    # -- datapath -------------------------------------------------------------
+
+    def deliver_packet(self, pkt: Packet) -> None:
+        """Entry point from the access link."""
+        self.nic.receive(pkt)
+
+    def _on_dma_complete(self, pkt: Packet) -> None:
+        self.copy_model.record_dma_write(pkt)
+        self.threads[pkt.thread_id].enqueue(pkt)
+
+    def _on_processed(self, pkt: Packet) -> None:
+        if self._receiver is not None:
+            self._receiver(pkt)
+
+    def send_ack(self, ack: Ack, thread_id: int) -> None:
+        """Transport receiver sends an ACK back to a sender."""
+        if self._ack_egress is None:
+            raise RuntimeError("no ACK egress attached to host")
+        ack.nic_buffer_fraction = self.nic.buffer_fraction()
+        ack.memory_utilization = min(self.memory.utilization, 1.0)
+        self.nic.transmit_ack(ack, thread_id, self._ack_egress)
+
+    def _flush_tick(self) -> None:
+        for thread in self.threads:
+            thread.flush_descriptors()
+        self.sim.call(_FLUSH_INTERVAL, self._flush_tick)
+
+    # -- telemetry ------------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        return self.sim.now - self._stats_since
+
+    def app_throughput_bps(self) -> float:
+        """Application-level goodput (processed payload bits/s)."""
+        if self.elapsed <= 0:
+            return 0.0
+        payload = sum(t.processed_payload_bytes for t in self.threads)
+        return payload * 8 / self.elapsed
+
+    def wire_arrival_bps(self) -> float:
+        """Offered load on the access link, including drops."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.nic.rx_bytes * 8 / self.elapsed
+
+    def drop_rate(self) -> float:
+        return self.nic.drop_rate()
+
+    def iotlb_misses_per_packet(self) -> float:
+        """All IOTLB misses (Rx and ACK-Tx translations) per received
+        data packet — the paper's Fig. 3/4/5 right-hand metric."""
+        if self.nic.dma_completed_packets == 0:
+            return 0.0
+        return self.iommu.total_misses / self.nic.dma_completed_packets
+
+    def registered_iommu_entries(self) -> int:
+        return self.pagetable.entry_count
+
+    def snapshot(self) -> Dict[str, float]:
+        """All headline metrics for the current measurement window."""
+        return {
+            "app_throughput_gbps": self.app_throughput_bps() / 1e9,
+            "wire_arrival_gbps": self.wire_arrival_bps() / 1e9,
+            "drop_rate": self.drop_rate(),
+            "iotlb_misses_per_packet": self.iotlb_misses_per_packet(),
+            "memory_utilization": self.memory.utilization,
+            "memory_total_GBps": self.memory.total_achieved_bandwidth() / 1e9,
+            "mean_dma_latency_us": self.nic.mean_dma_latency() * 1e6,
+            "mean_nic_delay_us": self.nic.mean_nic_delay() * 1e6,
+            "nic_buffer_peak_fraction":
+                self.nic.buffer.peak_bytes / self.config.nic.buffer_bytes,
+            "iommu_entries": float(self.pagetable.entry_count),
+            "remote_memory_GBps":
+                self.remote_memory.total_achieved_bandwidth() / 1e9,
+        }
+
+    def reset_stats(self) -> None:
+        """Warmup boundary: zero every window counter, keep cache state."""
+        self._stats_since = self.sim.now
+        self.nic.reset_stats()
+        self.nic.buffer.peak_bytes = self.nic.buffer.bytes_used
+        self.iommu.reset_stats()
+        self.memory.reset_accounting()
+        self.remote_memory.reset_accounting()
+        self.pcie.reset_accounting()
+        for thread in self.threads:
+            thread.reset_stats()

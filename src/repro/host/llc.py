@@ -1,0 +1,102 @@
+"""Last-level cache model for DDIO ("direct cache access").
+
+DDIO steers NIC DMA writes into a small dedicated slice of the LLC
+(2 of 11 ways on Intel servers — a few MB).  Two regimes matter:
+
+- **Resident**: the CPU copies a packet's payload before newer DMA
+  writes push it out of the DDIO slice → copy reads hit in LLC and
+  generate no DRAM read traffic.
+- **Leaky DMA** (Farshin et al., ATC'20; paper citation [10]): when the
+  CPU falls behind, packets sit in memory longer than the DDIO slice's
+  turnover time, get evicted, and every copy becomes a DRAM read —
+  *adding* memory-bus pressure exactly when the host is already
+  congested.
+
+The default accounting (:class:`~repro.host.cache.CopyTrafficModel`)
+uses the paper's measured static fractions; this module is the dynamic
+alternative where residency is tracked per packet, so the leaky-DMA
+feedback loop is emergent.  Select it with
+``DdioConfig(dynamic_llc=True)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DdioConfig
+from repro.host.memory import MemoryController, TrafficCounter
+from repro.net.packet import Packet
+
+__all__ = ["DynamicLlcModel"]
+
+
+class DynamicLlcModel:
+    """Tracks DDIO-slice residency per packet.
+
+    The DDIO slice behaves FIFO-by-bytes: a packet written when the
+    cumulative write cursor was at ``w`` has been evicted once the
+    cursor passes ``w + slice_bytes``.
+    """
+
+    def __init__(self, config: DdioConfig, memory: MemoryController):
+        self.config = config
+        self._reads: TrafficCounter = memory.register_counter(
+            "cpu-copy-reads", "cpu")
+        self._writes: TrafficCounter = memory.register_counter(
+            "cpu-copy-writes", "cpu")
+        self._write_cursor = 0
+        #: write-cursor stamp per (flow_id, seq); packets are copied
+        #: exactly once, shortly after DMA, so this stays small.
+        self._stamps: dict = {}
+        self.payload_bytes_copied = 0
+        self.llc_hits = 0
+        self.llc_misses = 0
+
+    @property
+    def slice_bytes(self) -> int:
+        return self.config.ddio_slice_bytes
+
+    # -- datapath hooks ------------------------------------------------------
+
+    def record_dma_write(self, pkt: Packet) -> None:
+        """NIC wrote this packet's payload into the DDIO slice."""
+        if not self.config.enabled:
+            return
+        self._write_cursor += pkt.payload_bytes
+        self._stamps[(pkt.flow_id, pkt.seq)] = self._write_cursor
+
+    def record_copy(self, pkt_or_bytes) -> None:
+        """CPU copies a packet's payload to application buffers.
+
+        Accepts a :class:`Packet` (dynamic residency check) for the
+        datapath, or a plain byte count (treated as a miss) so the
+        interface stays compatible with
+        :class:`~repro.host.cache.CopyTrafficModel`.
+        """
+        if isinstance(pkt_or_bytes, Packet):
+            pkt = pkt_or_bytes
+            payload = pkt.payload_bytes
+            stamp = self._stamps.pop((pkt.flow_id, pkt.seq), None)
+            resident = (
+                self.config.enabled
+                and stamp is not None
+                and self._write_cursor - stamp < self.slice_bytes
+            )
+        else:
+            payload = int(pkt_or_bytes)
+            resident = False
+        self.payload_bytes_copied += payload
+        if resident:
+            self.llc_hits += 1
+        else:
+            self.llc_misses += 1
+            self._reads.add(payload)
+        write_bytes = int(payload * self.config.copy_write_fraction)
+        if write_bytes:
+            self._writes.add(write_bytes)
+
+    # -- reporting -----------------------------------------------------------
+
+    def hit_ratio(self) -> float:
+        total = self.llc_hits + self.llc_misses
+        if total == 0:
+            return 0.0
+        return self.llc_hits / total

@@ -1,0 +1,238 @@
+"""The NIC: input buffer, Rx descriptor rings, and the DMA engine.
+
+This is the component where host congestion becomes visible (paper §2):
+
+1. arriving packets enqueue in a small SRAM input buffer — the only
+   place on the receive path where drops happen;
+2. the DMA engine takes an Rx descriptor and PCIe credits, asks the
+   IOMMU for translations, occupies the PCIe link, and pays the
+   (possibly contended) memory-write latency;
+3. credit release on completion is the backpressure loop: "any delays
+   in the NIC-to-memory datapath result in a backpressure to the NIC
+   input buffer, until the root complex can replenish the credits."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.core.config import NicConfig
+from repro.host.addressing import ThreadLayout
+from repro.host.iommu import Iommu
+from repro.host.memory import MemoryController, TrafficCounter
+from repro.host.pcie import PcieLink
+from repro.net.packet import Ack, Packet
+from repro.sim.engine import Simulator
+from repro.sim.queues import ByteQueue
+from repro.sim.resources import CreditPool
+from repro.sim.tracing import Tracer
+
+__all__ = ["Nic", "RxRing"]
+
+#: Descriptor + completion-entry bytes written to memory per packet.
+_CONTROL_WRITE_BYTES = 96
+
+#: Fixed NIC-side latency for transmitting one ACK (doorbell, DMA read
+#: issue); the ACK's translation latency is added on top.
+_ACK_TX_LATENCY = 0.3e-6
+
+
+class RxRing:
+    """Free-descriptor accounting for one receive queue."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.free = capacity
+        self.exhaustions = 0
+
+    def take(self) -> bool:
+        """Consume one descriptor; False (and counted) when empty."""
+        if self.free == 0:
+            self.exhaustions += 1
+            return False
+        self.free -= 1
+        return True
+
+    def replenish(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"cannot replenish {n} descriptors")
+        self.free = min(self.free + n, self.capacity)
+
+
+class Nic:
+    """Receive-side NIC model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NicConfig,
+        pcie: PcieLink,
+        credits: CreditPool,
+        iommu: Iommu,
+        memory: MemoryController,
+        layouts: List[ThreadLayout],
+        rng: random.Random,
+        deliver: Callable[[Packet], None],
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.pcie = pcie
+        self.credits = credits
+        self.iommu = iommu
+        self.memory = memory
+        self.layouts = layouts
+        self.rng = rng
+        self.deliver = deliver
+        self.tracer = tracer
+        self.buffer = ByteQueue(sim, config.buffer_bytes, name="nic-input")
+        self.rings = [RxRing(config.ring_descriptors) for _ in layouts]
+        self._inflight_bytes = 0
+        self._traffic: TrafficCounter = memory.register_counter(
+            "nic-dma", "nic")
+        self._ack_countdown = config.ack_coalescing
+        # Window counters (reset at the warmup boundary).
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.dma_completed_packets = 0
+        self.dma_completed_payload_bytes = 0
+        self.acks_sent = 0
+        self._nic_delay_sum = 0.0
+        self._dma_latency_sum = 0.0
+
+    # -- receive path -------------------------------------------------------
+
+    def receive(self, pkt: Packet) -> None:
+        """A packet arrives from the wire."""
+        self.rx_packets += 1
+        self.rx_bytes += pkt.wire_bytes
+        pkt.nic_arrival_time = self.sim.now
+        occupied = self.buffer.bytes_used + self._inflight_bytes
+        if occupied + pkt.wire_bytes > self.config.buffer_bytes:
+            self.dropped_packets += 1
+            self.dropped_bytes += pkt.wire_bytes
+            if self.tracer:
+                self.tracer.emit("nic", "drop", flow=pkt.flow_id,
+                                 seq=pkt.seq, occupied=occupied)
+            return
+        self.buffer.offer(pkt, pkt.wire_bytes)
+        self._pump()
+
+    def _pump(self) -> None:
+        """Start DMAs while the head packet has descriptors and credits."""
+        while True:
+            head = self.buffer.peek()
+            if head is None:
+                return
+            pkt: Packet = head[0]
+            ring = self.rings[pkt.thread_id]
+            if not ring.take():
+                return  # head-of-line stall until CPU replenishes
+            if not self.credits.try_acquire(pkt.wire_bytes):
+                ring.replenish(1)  # undo; retry when credits release
+                return
+            self.buffer.pop()
+            self._inflight_bytes += pkt.wire_bytes
+            self._start_dma(pkt)
+
+    def _start_dma(self, pkt: Packet) -> None:
+        layout = self.layouts[pkt.thread_id]
+        pages = layout.payload_pages(self.rng, pkt.payload_bytes)
+        # Connection state is touched twice per packet: the posted-WQE
+        # read and the flow-state update live on independent pages.
+        pages.append(layout.conn_state_page(self.rng))
+        pages.append(layout.conn_state_page(self.rng))
+        pages += layout.rx_control_pages()
+        translation = self.iommu.translate(pages)
+        pcie_delay = self.pcie.occupy(pkt.wire_bytes)
+        mem_latency = self.memory.dma_write_latency()
+        total = (self.pcie.config.dma_fixed_latency
+                 + translation.latency + pcie_delay + mem_latency)
+        self._dma_latency_sum += total
+        if self.tracer:
+            self.tracer.emit(
+                "nic", "dma_start", flow=pkt.flow_id, seq=pkt.seq,
+                misses=translation.iotlb_misses, latency=total)
+        self.sim.call(total, self._dma_done, pkt)
+
+    def _dma_done(self, pkt: Packet) -> None:
+        self._inflight_bytes -= pkt.wire_bytes
+        self.credits.release(pkt.wire_bytes)
+        pkt.dma_done_time = self.sim.now
+        self.dma_completed_packets += 1
+        self.dma_completed_payload_bytes += pkt.payload_bytes
+        self._nic_delay_sum += pkt.dma_done_time - pkt.nic_arrival_time
+        self._traffic.add(pkt.payload_bytes + _CONTROL_WRITE_BYTES)
+        if self.tracer:
+            self.tracer.emit("nic", "dma_done", flow=pkt.flow_id,
+                             seq=pkt.seq)
+        self.deliver(pkt)
+        self._pump()
+
+    # -- descriptor replenishment --------------------------------------------
+
+    def replenish(self, thread_id: int, n: int) -> None:
+        """CPU gives descriptors back to queue ``thread_id``."""
+        self.rings[thread_id].replenish(n)
+        self._pump()
+
+    # -- transmit path (ACKs) --------------------------------------------------
+
+    def transmit_ack(self, ack: Ack, thread_id: int,
+                     on_wire: Callable[[Ack], None]) -> None:
+        """Send an ACK: its descriptor/staging pages go through the same
+        IOTLB (the paper's footnote 3 counts the ACK's transactions in
+        the per-packet miss budget)."""
+        self._ack_countdown -= ack.acked_count
+        if self._ack_countdown > 0:
+            # Coalesced away; a later ACK will carry this acknowledgment.
+            return
+        self._ack_countdown = self.config.ack_coalescing
+        layout = self.layouts[thread_id]
+        pages = layout.tx_control_pages(self.rng)
+        translation = self.iommu.translate(pages)
+        self.acks_sent += 1
+        latency = _ACK_TX_LATENCY + translation.latency
+        self.sim.call(latency, on_wire, ack)
+
+    # -- telemetry ----------------------------------------------------------
+
+    def buffer_fraction(self) -> float:
+        """Current input-buffer occupancy (0..1), inflight included."""
+        return (self.buffer.bytes_used + self._inflight_bytes) / (
+            self.config.buffer_bytes
+        )
+
+    def mean_nic_delay(self) -> float:
+        """Mean NIC-arrival → DMA-complete latency this window."""
+        if self.dma_completed_packets == 0:
+            return 0.0
+        return self._nic_delay_sum / self.dma_completed_packets
+
+    def mean_dma_latency(self) -> float:
+        """Mean scheduled per-DMA latency this window."""
+        if self.dma_completed_packets == 0:
+            return 0.0
+        return self._dma_latency_sum / self.dma_completed_packets
+
+    def drop_rate(self) -> float:
+        if self.rx_packets == 0:
+            return 0.0
+        return self.dropped_packets / self.rx_packets
+
+    def reset_stats(self) -> None:
+        """Zero window counters (warmup boundary)."""
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.dma_completed_packets = 0
+        self.dma_completed_payload_bytes = 0
+        self.acks_sent = 0
+        self._nic_delay_sum = 0.0
+        self._dma_latency_sum = 0.0

@@ -1,0 +1,8 @@
+"""Network substrate: packets, links, switch, and the star fabric."""
+
+from repro.net.fabric import Fabric
+from repro.net.link import Link
+from repro.net.packet import Ack, Packet
+from repro.net.switch import SwitchPort
+
+__all__ = ["Ack", "Fabric", "Link", "Packet", "SwitchPort"]

@@ -1,0 +1,86 @@
+"""The star fabric: N senders → one switch port → the receiver host.
+
+Data path: each sender has its own access link into the switch; the
+switch's egress port to the receiver serializes at the receiver's
+access-link rate — the aggregation point of the incast.  The reverse
+(ACK) path is modelled as a fixed one-way delay: ACKs are tiny and the
+reverse direction is uncongested in every experiment of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.config import LinkConfig
+from repro.net.link import Link
+from repro.net.packet import Ack, Packet
+from repro.net.switch import SwitchPort
+from repro.sim.engine import Simulator
+
+__all__ = ["Fabric"]
+
+#: Fraction of the one-way delay on the sender access link; the rest is
+#: switch-to-receiver.
+_SENDER_LEG_FRACTION = 0.2
+
+
+class Fabric:
+    """Connects sender endpoints to one receiver host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: LinkConfig,
+        n_senders: int,
+        deliver_to_host: Callable[[Packet], None],
+    ):
+        if n_senders < 1:
+            raise ValueError(f"need at least one sender, got {n_senders}")
+        self.sim = sim
+        self.config = config
+        sender_delay = config.one_way_delay * _SENDER_LEG_FRACTION
+        switch_delay = config.one_way_delay * (1 - _SENDER_LEG_FRACTION)
+        self.port = SwitchPort(
+            sim,
+            rate_bps=config.rate_bps,
+            buffer_bytes=config.switch_buffer_bytes,
+            prop_delay=switch_delay,
+            deliver=deliver_to_host,
+            ecn_threshold_bytes=config.ecn_threshold_bytes,
+        )
+        self.sender_links: List[Link] = [
+            Link(sim, config.rate_bps, sender_delay,
+                 deliver=self.port.enqueue, name=f"sender-{i}")
+            for i in range(n_senders)
+        ]
+        self._ack_handlers: Dict[int, Callable[[Ack], None]] = {}
+
+    # -- data path ------------------------------------------------------------
+
+    def send_packet(self, sender_id: int, pkt: Packet) -> None:
+        """Sender ``sender_id`` puts a packet on its access link."""
+        self.sender_links[sender_id].send(pkt, pkt.wire_bytes)
+
+    # -- ack path -------------------------------------------------------------
+
+    def register_flow(self, flow_id: int,
+                      on_ack: Callable[[Ack], None]) -> None:
+        if flow_id in self._ack_handlers:
+            raise ValueError(f"flow {flow_id} already registered")
+        self._ack_handlers[flow_id] = on_ack
+
+    def route_ack(self, ack: Ack) -> None:
+        """Receiver-to-sender path: fixed one-way delay, no queueing."""
+        handler = self._ack_handlers.get(ack.flow_id)
+        if handler is None:
+            raise KeyError(f"ACK for unknown flow {ack.flow_id}")
+        ack.send_time = self.sim.now
+        self.sim.call(self.config.one_way_delay, handler, ack)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def fabric_drops(self) -> int:
+        return self.port.dropped
+
+    def switch_queue_bytes(self) -> int:
+        return self.port.queue_depth_bytes()

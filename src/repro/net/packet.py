@@ -1,0 +1,118 @@
+"""Packet and ACK records.
+
+Packets are plain mutable objects (``__slots__`` for speed); the
+simulator moves hundreds of thousands of them per run.  Timestamps are
+stamped in place as a packet traverses the pipeline so the receiver can
+compute the host-delay components that Swift consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Ack", "Packet"]
+
+
+class Packet:
+    """A data MTU travelling sender → receiver.
+
+    ``flow_id`` identifies the (sender, receiver-thread) connection;
+    ``seq`` is the per-flow packet sequence number.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "payload_bytes",
+        "wire_bytes",
+        "sent_time",
+        "is_retransmission",
+        "ecn_marked",
+        "nic_arrival_time",
+        "dma_done_time",
+        "cpu_done_time",
+        "thread_id",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        seq: int,
+        payload_bytes: int,
+        wire_bytes: int,
+        sent_time: float,
+        thread_id: int,
+        is_retransmission: bool = False,
+    ):
+        self.flow_id = flow_id
+        self.seq = seq
+        self.payload_bytes = payload_bytes
+        self.wire_bytes = wire_bytes
+        self.sent_time = sent_time
+        self.thread_id = thread_id
+        self.is_retransmission = is_retransmission
+        self.ecn_marked = False
+        self.nic_arrival_time: Optional[float] = None
+        self.dma_done_time: Optional[float] = None
+        self.cpu_done_time: Optional[float] = None
+
+    def host_delay(self) -> float:
+        """NIC arrival → CPU processing complete (the paper's "host
+        delay": NIC queueing + DMA + CPU queueing + processing)."""
+        if self.cpu_done_time is None or self.nic_arrival_time is None:
+            raise ValueError("packet has not completed host processing")
+        return self.cpu_done_time - self.nic_arrival_time
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(flow={self.flow_id}, seq={self.seq}, "
+            f"payload={self.payload_bytes}, retx={self.is_retransmission})"
+        )
+
+
+class Ack:
+    """An acknowledgement travelling receiver → sender.
+
+    Carries everything Swift needs: the echoed send timestamp (for RTT),
+    the measured host delay, and optional explicit host signals used by
+    the §4 extension transport.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "wire_bytes",
+        "sent_time_echo",
+        "host_delay",
+        "ecn_echo",
+        "acked_count",
+        "nic_buffer_fraction",
+        "memory_utilization",
+        "send_time",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        seq: int,
+        sent_time_echo: float,
+        host_delay: float,
+        wire_bytes: int = 64,
+        ecn_echo: bool = False,
+        acked_count: int = 1,
+        nic_buffer_fraction: float = 0.0,
+        memory_utilization: float = 0.0,
+    ):
+        self.flow_id = flow_id
+        self.seq = seq
+        self.wire_bytes = wire_bytes
+        self.sent_time_echo = sent_time_echo
+        self.host_delay = host_delay
+        self.ecn_echo = ecn_echo
+        self.acked_count = acked_count
+        self.nic_buffer_fraction = nic_buffer_fraction
+        self.memory_utilization = memory_utilization
+        self.send_time = 0.0
+
+    def __repr__(self) -> str:
+        return f"Ack(flow={self.flow_id}, seq={self.seq})"

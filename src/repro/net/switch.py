@@ -1,0 +1,73 @@
+"""An output-queued switch port.
+
+The paper's incast (40 senders → 1 receiver) aggregates at the switch
+port feeding the receiver's access link.  The port has a large buffer
+(fabric congestion is not the subject of the paper) and optional ECN
+marking so the DCTCP baseline has a signal to work with.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.queues import ByteQueue
+
+__all__ = ["SwitchPort"]
+
+
+class SwitchPort:
+    """FIFO output port with serialization, ECN, and a finite buffer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        buffer_bytes: int,
+        prop_delay: float,
+        deliver: Callable[[Packet], None],
+        ecn_threshold_bytes: Optional[int] = None,
+        name: str = "switch-port",
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.deliver = deliver
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.queue = ByteQueue(sim, buffer_bytes, name=name)
+        self._transmitting = False
+        self.forwarded = 0
+
+    def enqueue(self, pkt: Packet) -> None:
+        if (self.ecn_threshold_bytes is not None
+                and self.queue.bytes_used >= self.ecn_threshold_bytes):
+            pkt.ecn_marked = True
+        if not self.queue.offer(pkt, pkt.wire_bytes):
+            return  # fabric drop (rare by construction; still counted)
+        if not self._transmitting:
+            self._next()
+
+    def _next(self) -> None:
+        entry = self.queue.pop()
+        if entry is None:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        pkt = entry[0]
+        tx = pkt.wire_bytes * 8 / self.rate_bps
+        self.sim.call(tx, self._sent, pkt)
+
+    def _sent(self, pkt: Packet) -> None:
+        self.forwarded += 1
+        self.sim.call(self.prop_delay, self.deliver, pkt)
+        self._next()
+
+    @property
+    def dropped(self) -> int:
+        return self.queue.dropped_count
+
+    def queue_depth_bytes(self) -> int:
+        return self.queue.bytes_used

@@ -1,0 +1,41 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free engine in the style of SimPy, tuned for the hot
+paths of the host-interconnect model: the core loop dispatches plain
+callbacks from a binary heap, and an optional :class:`~repro.sim.engine.Process`
+wrapper runs generator-style processes on top of it for the components
+where sequential logic reads better (DMA engines, senders).
+
+Public surface:
+
+- :class:`~repro.sim.engine.Simulator` — event loop.
+- :class:`~repro.sim.engine.Event` / :class:`~repro.sim.engine.Process` —
+  awaitable primitives for generator processes.
+- :class:`~repro.sim.resources.CreditPool` — counting resource with FIFO
+  waiters (models PCIe flow-control credits).
+- :class:`~repro.sim.resources.Store` — unbounded FIFO hand-off between
+  producer and consumer processes.
+- :class:`~repro.sim.queues.ByteQueue` — finite byte-capacity tail-drop
+  queue with occupancy/drop accounting (models the NIC input SRAM).
+- :class:`~repro.sim.randoms.RngRegistry` — named, reproducible RNG
+  streams derived from one root seed.
+"""
+
+from repro.sim.engine import Event, Interrupt, Process, Simulator
+from repro.sim.queues import ByteQueue
+from repro.sim.randoms import RngRegistry
+from repro.sim.resources import CreditPool, Gate, Store
+from repro.sim.tracing import Tracer
+
+__all__ = [
+    "ByteQueue",
+    "CreditPool",
+    "Event",
+    "Gate",
+    "Interrupt",
+    "Process",
+    "RngRegistry",
+    "Simulator",
+    "Store",
+    "Tracer",
+]

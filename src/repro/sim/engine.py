@@ -1,0 +1,304 @@
+"""Event loop, events, and generator processes.
+
+Time is a ``float`` in **seconds**. Events scheduled at equal times fire
+in insertion order (a monotonically increasing sequence number breaks
+ties), which keeps runs fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = ["Event", "Interrupt", "Process", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the engine (e.g. scheduling in the past)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` or :meth:`fail` triggers it
+    exactly once, after which its callbacks run within the current
+    simulation step.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "triggered")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self.triggered = False
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True/False once triggered, None while pending."""
+        return self._ok
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            # Fire immediately but asynchronously, preserving run-to-
+            # completion semantics of the current step.
+            self.sim.call(0.0, fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise TypeError("Event.fail() requires an exception instance")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Process:
+    """A generator running inside the simulation.
+
+    The generator may ``yield``:
+
+    - a ``float``/``int`` — sleep for that many seconds;
+    - an :class:`Event` — resume when it triggers (the ``yield``
+      expression evaluates to the event's value, or raises if it failed);
+    - another :class:`Process` — wait for it to finish.
+
+    A process is itself an :class:`Event` facade: waiting on it resumes
+    when the generator returns (value = the ``StopIteration`` value).
+    """
+
+    __slots__ = ("sim", "name", "_gen", "_done", "_waiting_on", "_interrupted")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "proc"):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self._done = Event(sim)
+        self._waiting_on: Optional[Event] = None
+        self._interrupted = False
+        sim.call(0.0, self._step, None, None)
+
+    @property
+    def done(self) -> Event:
+        return self._done
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._done.triggered
+
+    def add_callback(self, fn: Callable[[Event], None]) -> None:
+        self._done.add_callback(fn)
+
+    @property
+    def triggered(self) -> bool:
+        return self._done.triggered
+
+    @property
+    def value(self) -> Any:
+        return self._done.value
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next step."""
+        if not self.is_alive:
+            return
+        self._interrupted = True
+        self.sim.call(0.0, self._step, None, Interrupt(cause))
+
+    def _on_event(self, event: Event) -> None:
+        if event.ok:
+            self._step(event.value, None)
+        else:
+            self._step(None, event.value)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done.triggered:
+            return
+        if isinstance(exc, Interrupt):
+            self._interrupted = False
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self._done.succeed(stop.value)
+            return
+        except BaseException as err:  # propagate process crashes loudly
+            self._done.fail(err)
+            raise
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            if target < 0:
+                self._step(None, SimulationError("negative delay"))
+                return
+            self.sim.call(float(target), self._step, None, None)
+        elif isinstance(target, Process):
+            target._done.add_callback(self._on_event)
+            self._waiting_on = target._done
+        elif isinstance(target, Event):
+            target.add_callback(self._on_event)
+            self._waiting_on = target
+        else:
+            self._step(
+                None,
+                SimulationError(f"process {self.name!r} yielded {target!r}"),
+            )
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.call(1e-6, my_callback, arg)        # callback API (hot path)
+        sim.process(my_generator())              # process API
+        sim.run(until=0.01)
+    """
+
+    __slots__ = ("_now", "_heap", "_seq", "_stopped", "_n_dispatched")
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._stopped = False
+        self._n_dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total number of callbacks dispatched so far."""
+        return self._n_dispatched
+
+    def at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now {self._now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
+    def call(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that succeeds after ``delay`` seconds."""
+        ev = Event(self)
+        self.call(delay, ev.succeed, value)
+        return ev
+
+    def process(self, gen: Generator, name: str = "proc") -> Process:
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds when the first of ``events`` does."""
+        out = Event(self)
+
+        def fire(ev: Event) -> None:
+            if not out.triggered:
+                out.succeed(ev.value)
+
+        for ev in events:
+            ev.add_callback(fire)
+        return out
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds when all of ``events`` have."""
+        out = Event(self)
+        pending = list(events)
+        remaining = len(pending)
+        if remaining == 0:
+            out.succeed([])
+            return out
+        values: list[Any] = [None] * remaining
+
+        def make(i: int) -> Callable[[Event], None]:
+            def fire(ev: Event) -> None:
+                nonlocal remaining
+                values[i] = ev.value
+                remaining -= 1
+                if remaining == 0 and not out.triggered:
+                    out.succeed(values)
+
+            return fire
+
+        for i, ev in enumerate(pending):
+            ev.add_callback(make(i))
+        return out
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current callback returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch events until the heap drains or ``until`` is reached.
+
+        Returns the simulation time at which the run stopped. When
+        ``until`` is given, time always advances to exactly ``until``
+        (even if the heap drained earlier), so repeated ``run`` calls
+        compose predictably.
+        """
+        self._stopped = False
+        heap = self._heap
+        while heap and not self._stopped:
+            time, _seq, fn, args = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            self._now = time
+            self._n_dispatched += 1
+            fn(*args)
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None

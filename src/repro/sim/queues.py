@@ -1,0 +1,130 @@
+"""Finite byte-capacity queues with drop and occupancy accounting.
+
+The NIC input buffer is the central queue of the paper: a small SRAM
+(≈1 MB) where all host-congestion drops happen.  :class:`ByteQueue`
+therefore tracks, besides the items themselves, everything the analysis
+needs: drop counts/bytes, an occupancy-time integral (for mean depth),
+and the peak occupancy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+__all__ = ["ByteQueue"]
+
+
+class ByteQueue:
+    """Tail-drop FIFO bounded by total bytes.
+
+    Items are opaque; each is enqueued with an explicit byte size so the
+    queue works for packets, descriptors, or DMA requests alike.
+    """
+
+    def __init__(self, sim: Simulator, capacity_bytes: int, name: str = "q"):
+        if capacity_bytes <= 0:
+            raise ValueError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
+        self.sim = sim
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._items: Deque[Tuple[Any, int, float]] = deque()
+        self._bytes = 0
+        # Telemetry.
+        self.enqueued_count = 0
+        self.enqueued_bytes = 0
+        self.dropped_count = 0
+        self.dropped_bytes = 0
+        self.dequeued_count = 0
+        self.peak_bytes = 0
+        self._occupancy_integral = 0.0
+        self._last_change = sim.now
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    @property
+    def bytes_free(self) -> int:
+        return self.capacity_bytes - self._bytes
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._occupancy_integral += self._bytes * (now - self._last_change)
+        self._last_change = now
+
+    def mean_occupancy_bytes(self, elapsed: float) -> float:
+        """Time-averaged queue depth in bytes over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        self._account()
+        return self._occupancy_integral / elapsed
+
+    def offer(self, item: Any, size_bytes: int) -> bool:
+        """Enqueue if it fits; otherwise drop (tail drop) and return False."""
+        if size_bytes < 0:
+            raise ValueError(f"negative size {size_bytes}")
+        if self._bytes + size_bytes > self.capacity_bytes:
+            self.dropped_count += 1
+            self.dropped_bytes += size_bytes
+            return False
+        self._account()
+        self._items.append((item, size_bytes, self.sim.now))
+        self._bytes += size_bytes
+        self.enqueued_count += 1
+        self.enqueued_bytes += size_bytes
+        if self._bytes > self.peak_bytes:
+            self.peak_bytes = self._bytes
+        return True
+
+    def pop(self) -> Optional[Tuple[Any, int, float]]:
+        """Dequeue the head as ``(item, size_bytes, enqueue_time)``.
+
+        Returns None when empty.  The enqueue timestamp lets callers
+        compute per-item queueing delay (the paper's "host delay"
+        component at the NIC).
+        """
+        if not self._items:
+            return None
+        self._account()
+        item, size, t_in = self._items.popleft()
+        self._bytes -= size
+        self.dequeued_count += 1
+        return item, size, t_in
+
+    def peek(self) -> Optional[Tuple[Any, int, float]]:
+        if not self._items:
+            return None
+        return self._items[0]
+
+    def head_sojourn(self) -> float:
+        """How long the current head item has been queued (0 if empty)."""
+        if not self._items:
+            return 0.0
+        return self.sim.now - self._items[0][2]
+
+    def clear(self) -> int:
+        """Discard everything; returns number of items removed.
+
+        Cleared items are not counted as drops — this is for teardown,
+        not for policy.
+        """
+        self._account()
+        n = len(self._items)
+        self._items.clear()
+        self._bytes = 0
+        return n
+
+    def drop_rate(self) -> float:
+        """Fraction of offered items that were dropped."""
+        offered = self.enqueued_count + self.dropped_count
+        if offered == 0:
+            return 0.0
+        return self.dropped_count / offered

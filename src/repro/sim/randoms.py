@@ -1,0 +1,61 @@
+"""Reproducible, named random-number streams.
+
+Every stochastic component draws from its own stream, derived from one
+root seed and the component's name.  Adding a new component therefore
+never perturbs the draws of existing ones, which keeps calibrated
+experiments stable across code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RngRegistry", "derive_seed"]
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a stream name.
+
+    Uses BLAKE2b so the mapping is stable across Python versions and
+    processes (unlike ``hash()``).
+    """
+    digest = hashlib.blake2b(
+        name.encode("utf-8"),
+        digest_size=8,
+        key=root_seed.to_bytes(8, "little", signed=False),
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class RngRegistry:
+    """A factory of named :class:`random.Random` streams.
+
+    >>> rngs = RngRegistry(seed=42)
+    >>> a = rngs.stream("iotlb")
+    >>> b = rngs.stream("iotlb")
+    >>> a is b
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(derive_seed(self.seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """A child registry whose streams are independent of the parent's."""
+        return RngRegistry(derive_seed(self.seed, "registry:" + name))
+
+    def names(self) -> list[str]:
+        return sorted(self._streams)

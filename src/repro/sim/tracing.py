@@ -1,0 +1,78 @@
+"""Lightweight event tracing.
+
+Components call ``tracer.emit(component, event, **fields)``; when tracing
+is disabled (the default) this is a single attribute check, so the hot
+path stays cheap.  Tests and debugging sessions enable it to assert on
+exact event orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    component: str
+    event: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time * 1e6:10.3f}us] {self.component}.{self.event} {kv}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    def __init__(self, sim: Simulator, enabled: bool = False,
+                 max_records: int = 1_000_000):
+        self.sim = sim
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Also forward records to ``sink`` (e.g. print, file writer)."""
+        self._sinks.append(sink)
+
+    def emit(self, component: str, event: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        record = TraceRecord(self.sim.now, component, event, fields)
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+        for sink in self._sinks:
+            sink(record)
+
+    def filter(self, component: Optional[str] = None,
+               event: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given component and/or event name."""
+        out = self.records
+        if component is not None:
+            out = [r for r in out if r.component == component]
+        if event is not None:
+            out = [r for r in out if r.event == event]
+        return list(out)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+#: A tracer that is always disabled — usable as a default argument so
+#: components never need None checks.
+NULL_TRACER: Optional[Tracer] = None
+
+
+def null_tracer(sim: Simulator) -> Tracer:
+    """A disabled tracer bound to ``sim`` (cheap to share)."""
+    return Tracer(sim, enabled=False)

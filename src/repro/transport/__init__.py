@@ -1,0 +1,33 @@
+"""Transport layer: congestion control protocols and endpoints.
+
+- :mod:`repro.transport.swift` — Swift (the paper's protocol): delay
+  AIMD with separate fabric and host target delays.
+- :mod:`repro.transport.dctcp` — DCTCP baseline (ECN-fraction AIMD).
+- :mod:`repro.transport.cubic` — CUBIC baseline (loss-based).
+- :mod:`repro.transport.hostcc` — the paper-§4 extension: sub-RTT
+  response to explicit host congestion signals.
+- :mod:`repro.transport.base` — sender connection state machine (loss
+  detection, RTO, pacing) shared by all protocols.
+- :mod:`repro.transport.receiver` — receiver endpoint generating ACKs
+  with host-delay echo.
+"""
+
+from repro.transport.base import Connection, CongestionControl
+from repro.transport.cubic import CubicCC
+from repro.transport.dctcp import DctcpCC
+from repro.transport.hostcc import HostSignalCC
+from repro.transport.receiver import ReceiverEndpoint
+from repro.transport.swift import SwiftCC, make_cc
+from repro.transport.timely import TimelyCC
+
+__all__ = [
+    "CongestionControl",
+    "Connection",
+    "CubicCC",
+    "DctcpCC",
+    "HostSignalCC",
+    "ReceiverEndpoint",
+    "SwiftCC",
+    "TimelyCC",
+    "make_cc",
+]

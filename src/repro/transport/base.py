@@ -1,0 +1,240 @@
+"""Sender-side connection state machine.
+
+Window management, pacing (Swift supports cwnd < 1), SACK-style loss
+detection by transmission-order reordering, and an RTO backstop.  The
+congestion-control algorithm itself is pluggable
+(:class:`CongestionControl`), so Swift, DCTCP, CUBIC, and the host-
+signal extension all share this machinery.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional, Protocol
+
+from repro.net.packet import Ack, Packet
+from repro.sim.engine import Simulator
+
+__all__ = ["CongestionControl", "Connection"]
+
+
+class CongestionControl(Protocol):
+    """The decision core of a transport protocol."""
+
+    def on_ack(self, rtt: float, ack: Ack, now: float) -> None:
+        """Process one acknowledgment."""
+
+    def on_loss(self, now: float) -> None:
+        """A packet was declared lost (fast retransmit)."""
+
+    def on_timeout(self, now: float) -> None:
+        """The retransmission timer fired."""
+
+    def cwnd(self) -> float:
+        """Current congestion window in packets (may be fractional)."""
+
+
+class _SentRecord:
+    __slots__ = ("seq", "tx_index", "sent_time", "retransmitted")
+
+    def __init__(self, seq: int, tx_index: int, sent_time: float):
+        self.seq = seq
+        self.tx_index = tx_index
+        self.sent_time = sent_time
+        self.retransmitted = False
+
+
+class Connection:
+    """One always-backlogged sender → receiver flow.
+
+    The paper's workload is closed-loop 16 KB remote reads issued
+    continuously; at saturation that is an always-backlogged windowed
+    stream, which is how the sender is modelled.  Message (read)
+    latency accounting happens at the receiver endpoint.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        sender_id: int,
+        thread_id: int,
+        cc: CongestionControl,
+        send: Callable[[Packet], None],
+        payload_bytes: int,
+        wire_bytes: int,
+        rto: float = 1e-3,
+        reorder_threshold: int = 3,
+        initial_rtt: float = 25e-6,
+        max_inflight: int = 1024,
+        always_backlogged: bool = True,
+    ):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.sender_id = sender_id
+        self.thread_id = thread_id
+        self.cc = cc
+        self._send = send
+        self.payload_bytes = payload_bytes
+        self.wire_bytes = wire_bytes
+        self.rto = rto
+        self.reorder_threshold = reorder_threshold
+        self.max_inflight = max_inflight
+
+        self.always_backlogged = always_backlogged
+        #: Packets of application data awaiting first transmission
+        #: (ignored when ``always_backlogged``).
+        self._backlog_packets = 0
+        self._next_seq = 0
+        self._tx_counter = 0
+        self._highest_acked_tx = -1
+        #: seq -> _SentRecord, in transmission order.
+        self._inflight: "OrderedDict[int, _SentRecord]" = OrderedDict()
+        self._retx_queue: list[int] = []
+        self.srtt = initial_rtt
+        self._next_send_time = 0.0
+        self._send_scheduled = False
+        self._last_ack_time = sim.now
+        # Statistics.
+        self.packets_sent = 0
+        self.retransmissions = 0
+        self.acks_received = 0
+        self.losses_detected = 0
+        self.timeouts = 0
+
+        sim.call(0.0, self._maybe_send)
+        sim.call(self.rto, self._rto_check)
+
+    # -- sending ---------------------------------------------------------------
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def backlog_packets(self) -> int:
+        return self._backlog_packets
+
+    def add_backlog(self, packets: int) -> None:
+        """Open-loop mode: application data arrives to be sent."""
+        if packets <= 0:
+            raise ValueError(f"backlog must be positive, got {packets}")
+        self._backlog_packets += packets
+        self._maybe_send()
+
+    def _has_data(self) -> bool:
+        return self.always_backlogged or self._backlog_packets > 0
+
+    def _pacing_interval(self) -> float:
+        """Inter-send gap; enforces sub-packet windows by pacing."""
+        cwnd = self.cc.cwnd()
+        if cwnd >= 1.0:
+            return 0.0
+        return self.srtt / max(cwnd, 1e-3)
+
+    def _maybe_send(self) -> None:
+        self._send_scheduled = False
+        now = self.sim.now
+        # Fast retransmit: a lost packet's window slot is already
+        # accounted for, so retransmissions bypass the window check
+        # (and pacing) — they replace in-flight data, not add to it.
+        while self._retx_queue:
+            self._transmit_next()
+        while True:
+            if not self._has_data():
+                return
+            cwnd = self.cc.cwnd()
+            window = max(int(cwnd), 1) if cwnd >= 1.0 else 1
+            if self.inflight_count >= min(window, self.max_inflight):
+                return
+            if now < self._next_send_time:
+                self._schedule_send(self._next_send_time - now)
+                return
+            self._transmit_next()
+            gap = self._pacing_interval()
+            if gap > 0:
+                self._next_send_time = self.sim.now + gap
+                self._schedule_send(gap)
+                return
+
+    def _schedule_send(self, delay: float) -> None:
+        if not self._send_scheduled:
+            self._send_scheduled = True
+            self.sim.call(delay, self._maybe_send)
+
+    def _transmit_next(self) -> None:
+        if self._retx_queue:
+            seq = self._retx_queue.pop(0)
+            retx = True
+        else:
+            seq = self._next_seq
+            self._next_seq += 1
+            retx = False
+            if not self.always_backlogged:
+                self._backlog_packets -= 1
+        record = _SentRecord(seq, self._tx_counter, self.sim.now)
+        record.retransmitted = retx
+        self._tx_counter += 1
+        # Re-insert at the tail so _inflight stays in tx order.
+        self._inflight.pop(seq, None)
+        self._inflight[seq] = record
+        pkt = Packet(
+            flow_id=self.flow_id,
+            seq=seq,
+            payload_bytes=self.payload_bytes,
+            wire_bytes=self.wire_bytes,
+            sent_time=self.sim.now,
+            thread_id=self.thread_id,
+            is_retransmission=retx,
+        )
+        self.packets_sent += 1
+        if retx:
+            self.retransmissions += 1
+        self._send(pkt)
+
+    # -- receiving acks ----------------------------------------------------------
+
+    def on_ack(self, ack: Ack) -> None:
+        now = self.sim.now
+        self._last_ack_time = now
+        record = self._inflight.pop(ack.seq, None)
+        if record is None:
+            return  # duplicate/late ack for a retransmitted packet
+        self.acks_received += 1
+        self._highest_acked_tx = max(self._highest_acked_tx, record.tx_index)
+        rtt = now - ack.sent_time_echo
+        self.srtt += 0.125 * (rtt - self.srtt)
+        self.cc.on_ack(rtt, ack, now)
+        self._detect_losses()
+        self._maybe_send()
+
+    def _detect_losses(self) -> None:
+        """Transmission-order reordering: a packet is lost once
+        ``reorder_threshold`` later transmissions have been acked."""
+        lost = []
+        for seq, record in self._inflight.items():
+            if record.tx_index <= self._highest_acked_tx - self.reorder_threshold:
+                lost.append(seq)
+            else:
+                break  # _inflight is in tx order
+        for seq in lost:
+            del self._inflight[seq]
+            self.losses_detected += 1
+            self._retx_queue.append(seq)
+        if lost:
+            self.cc.on_loss(self.sim.now)
+
+    # -- timeout backstop ---------------------------------------------------------
+
+    def _rto_check(self) -> None:
+        now = self.sim.now
+        if self._inflight:
+            oldest = next(iter(self._inflight.values()))
+            if now - oldest.sent_time > self.rto:
+                seq = oldest.seq
+                del self._inflight[seq]
+                self._retx_queue.append(seq)
+                self.timeouts += 1
+                self.cc.on_timeout(now)
+                self._maybe_send()
+        self.sim.call(self.rto / 2, self._rto_check)

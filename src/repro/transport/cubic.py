@@ -1,0 +1,68 @@
+"""CUBIC (Ha et al., 2008) — loss-based baseline.
+
+Stands in for the kernel-TCP population of the paper's Fig. 1 fleet:
+a protocol that only learns about host congestion from drops, after
+the NIC buffer has already overflowed.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SwiftConfig
+from repro.net.packet import Ack
+
+__all__ = ["CubicCC"]
+
+
+class CubicCC:
+    """One flow's CUBIC state."""
+
+    #: CUBIC scaling constant (packets/s^3) and beta, per the paper.
+    C = 0.4
+    BETA = 0.7  # multiplicative decrease factor (cwnd *= BETA)
+
+    def __init__(self, config: SwiftConfig, initial_cwnd: float = 2.0):
+        self.config = config
+        self._cwnd = min(max(initial_cwnd, config.min_cwnd),
+                         config.max_cwnd)
+        self._w_max = self._cwnd
+        self._epoch_start: float | None = None
+        self._k = 0.0
+        self._last_decrease = -1e9
+        self._srtt = 25e-6
+
+    def cwnd(self) -> float:
+        return self._cwnd
+
+    def _clamp(self) -> None:
+        cfg = self.config
+        self._cwnd = min(max(self._cwnd, cfg.min_cwnd), cfg.max_cwnd)
+
+    def on_ack(self, rtt: float, ack: Ack, now: float) -> None:
+        self._srtt += 0.125 * (rtt - self._srtt)
+        if self._epoch_start is None:
+            self._epoch_start = now
+            self._k = ((self._w_max * (1 - self.BETA)) / self.C) ** (1 / 3)
+        t = now - self._epoch_start
+        target = self.C * (t - self._k) ** 3 + self._w_max
+        if target > self._cwnd:
+            # Approach the cubic target over roughly one RTT of acks.
+            self._cwnd += (target - self._cwnd) / max(self._cwnd, 1.0)
+        else:
+            # TCP-friendly floor: slow additive growth.
+            self._cwnd += 0.01 / max(self._cwnd, 1.0)
+        self._clamp()
+
+    def on_loss(self, now: float) -> None:
+        if now - self._last_decrease < self._srtt:
+            return
+        self._w_max = self._cwnd
+        self._cwnd *= self.BETA
+        self._epoch_start = None
+        self._last_decrease = now
+        self._clamp()
+
+    def on_timeout(self, now: float) -> None:
+        self._w_max = self._cwnd
+        self._cwnd = self.config.min_cwnd
+        self._epoch_start = None
+        self._last_decrease = now

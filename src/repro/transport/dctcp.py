@@ -1,0 +1,65 @@
+"""DCTCP (Alizadeh et al., SIGCOMM'10) — ECN-fraction AIMD baseline.
+
+DCTCP reacts to switch ECN marks only: it is completely blind to host
+congestion (NIC-buffer queueing produces no ECN), which is exactly why
+it is a useful baseline against Swift in the fleet experiment.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SwiftConfig
+from repro.net.packet import Ack
+
+__all__ = ["DctcpCC"]
+
+
+class DctcpCC:
+    """One flow's DCTCP state."""
+
+    #: EWMA gain for the marked fraction.
+    G = 1.0 / 16.0
+
+    def __init__(self, config: SwiftConfig, initial_cwnd: float = 2.0):
+        self.config = config
+        self._cwnd = min(max(initial_cwnd, config.min_cwnd),
+                         config.max_cwnd)
+        self.alpha = 0.0
+        self._acked_in_window = 0
+        self._marked_in_window = 0
+        self._window_acks_target = max(int(self._cwnd), 1)
+        self._last_decrease = -1e9
+        self._srtt = 25e-6
+
+    def cwnd(self) -> float:
+        return self._cwnd
+
+    def _clamp(self) -> None:
+        cfg = self.config
+        self._cwnd = min(max(self._cwnd, cfg.min_cwnd), cfg.max_cwnd)
+
+    def on_ack(self, rtt: float, ack: Ack, now: float) -> None:
+        self._srtt += 0.125 * (rtt - self._srtt)
+        self._acked_in_window += 1
+        if ack.ecn_echo:
+            self._marked_in_window += 1
+        if self._acked_in_window >= self._window_acks_target:
+            fraction = self._marked_in_window / self._acked_in_window
+            self.alpha += self.G * (fraction - self.alpha)
+            if self._marked_in_window > 0:
+                self._cwnd *= 1.0 - self.alpha / 2.0
+            self._acked_in_window = 0
+            self._marked_in_window = 0
+            self._window_acks_target = max(int(self._cwnd), 1)
+        if not ack.ecn_echo:
+            self._cwnd += 1.0 / max(self._cwnd, 1.0)
+        self._clamp()
+
+    def on_loss(self, now: float) -> None:
+        if now - self._last_decrease >= self._srtt:
+            self._cwnd *= 0.5
+            self._last_decrease = now
+            self._clamp()
+
+    def on_timeout(self, now: float) -> None:
+        self._cwnd = self.config.min_cwnd
+        self._last_decrease = now

@@ -1,0 +1,71 @@
+"""Host-signal congestion control — the paper's §4 proposal, realized.
+
+The paper argues future protocols need (a) congestion signals from
+"outside the network" and (b) sub-RTT response, because with ~1 MB of
+NIC buffer and a 100 µs host-delay target, Swift cannot see host
+interconnect congestion before drops happen.
+
+This transport extends Swift with two mechanisms:
+
+- every ACK carries the receiver's *current* NIC-buffer occupancy and
+  memory-bus utilization (stamped at ACK generation, so the signal is
+  fresher than an RTT-old delay sample);
+- when the buffer occupancy crosses a threshold, the sender decreases
+  immediately and proportionally, without the once-per-RTT limit —
+  the sub-RTT response.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SwiftConfig
+from repro.net.packet import Ack
+from repro.transport.swift import SwiftCC
+
+__all__ = ["HostSignalCC"]
+
+
+class HostSignalCC(SwiftCC):
+    """Swift plus explicit, sub-RTT host-congestion signals."""
+
+    #: NIC buffer occupancy beyond which senders back off immediately.
+    BUFFER_THRESHOLD = 0.5
+    #: Strength of the proportional response to buffer occupancy.
+    BUFFER_GAIN = 0.3
+    #: Minimum spacing between signal-driven decreases (well below an
+    #: RTT: this is the "sub-RTT response" knob).
+    HOLDOFF = 10e-6
+    #: Memory-bus utilization beyond which increase is suppressed.
+    MEMORY_THRESHOLD = 0.95
+
+    def __init__(self, config: SwiftConfig, initial_cwnd: float = 2.0):
+        super().__init__(config, initial_cwnd)
+        self._last_signal_decrease = -1e9
+        self.signal_decreases = 0
+
+    def on_ack(self, rtt: float, ack: Ack, now: float) -> None:
+        buffer_fraction = ack.nic_buffer_fraction
+        if buffer_fraction > self.BUFFER_THRESHOLD:
+            # Buffer filling: never grow, and cut proportionally every
+            # HOLDOFF (well below an RTT).
+            if now - self._last_signal_decrease >= self.HOLDOFF:
+                excess = (buffer_fraction - self.BUFFER_THRESHOLD) / (
+                    1.0 - self.BUFFER_THRESHOLD
+                )
+                factor = max(1.0 - self.BUFFER_GAIN * excess,
+                             1.0 - self.config.max_mdf)
+                self._cwnd *= factor
+                self._clamp()
+                self._last_signal_decrease = now
+                self.signal_decreases += 1
+            # Still feed Swift's delay machinery its RTT sample.
+            self._srtt += 0.125 * (rtt - self._srtt)
+            return
+        if ack.memory_utilization > self.MEMORY_THRESHOLD:
+            # Bus saturated: hold the window, let Swift decrease if
+            # delay says so, but never grow into a saturated bus.
+            before = self._cwnd
+            super().on_ack(rtt, ack, now)
+            self._cwnd = min(self._cwnd, before)
+            self._clamp()
+            return
+        super().on_ack(rtt, ack, now)

@@ -1,0 +1,96 @@
+"""TIMELY (Mittal et al., SIGCOMM'15) — RTT-gradient baseline.
+
+An additional delay-based point of comparison: where Swift compares
+delay against absolute targets, TIMELY reacts to the *gradient* of the
+RTT signal, with absolute guard thresholds (T_low, T_high).  Like
+Swift, it consumes end-to-end RTT and therefore shares the structural
+blind spot the paper describes — the NIC buffer saturates the signal
+below any useful threshold.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SwiftConfig
+from repro.net.packet import Ack
+
+__all__ = ["TimelyCC"]
+
+
+class TimelyCC:
+    """One flow's TIMELY state (window-based adaptation)."""
+
+    #: Guard thresholds on absolute RTT.
+    T_LOW = 50e-6
+    T_HIGH = 500e-6
+    #: EWMA gain for the RTT-difference filter.
+    ALPHA = 0.46
+    #: Multiplicative-decrease sensitivity to the normalized gradient.
+    BETA = 0.26
+    #: Additive step (packets) and HAI multiplier.
+    DELTA = 0.15
+    HAI_THRESHOLD = 5
+    #: Gradient normalization (minimum RTT scale).
+    MIN_RTT = 20e-6
+
+    def __init__(self, config: SwiftConfig, initial_cwnd: float = 2.0):
+        self.config = config
+        self._cwnd = min(max(initial_cwnd, config.min_cwnd),
+                         config.max_cwnd)
+        self._prev_rtt: float | None = None
+        self._rtt_diff = 0.0
+        self._negative_gradients = 0
+        self._last_decrease = -1e9
+        self._srtt = 25e-6
+
+    def cwnd(self) -> float:
+        return self._cwnd
+
+    def _clamp(self) -> None:
+        cfg = self.config
+        self._cwnd = min(max(self._cwnd, cfg.min_cwnd), cfg.max_cwnd)
+
+    def on_ack(self, rtt: float, ack: Ack, now: float) -> None:
+        self._srtt += 0.125 * (rtt - self._srtt)
+        if self._prev_rtt is None:
+            self._prev_rtt = rtt
+            return
+        new_diff = rtt - self._prev_rtt
+        self._prev_rtt = rtt
+        self._rtt_diff += self.ALPHA * (new_diff - self._rtt_diff)
+        gradient = self._rtt_diff / self.MIN_RTT
+
+        if rtt < self.T_LOW:
+            self._increase(hai=False)
+        elif rtt > self.T_HIGH:
+            # Absolute guard: cut hard, bounded per RTT.
+            if now - self._last_decrease >= self._srtt:
+                self._cwnd *= max(1 - self.BETA * (1 - self.T_HIGH / rtt),
+                                  1 - self.config.max_mdf)
+                self._last_decrease = now
+        elif gradient <= 0:
+            self._negative_gradients += 1
+            self._increase(
+                hai=self._negative_gradients >= self.HAI_THRESHOLD)
+        else:
+            self._negative_gradients = 0
+            if now - self._last_decrease >= self._srtt:
+                factor = max(1.0 - self.BETA * min(gradient, 1.0),
+                             1.0 - self.config.max_mdf)
+                self._cwnd *= factor
+                self._last_decrease = now
+        self._clamp()
+
+    def _increase(self, hai: bool) -> None:
+        step = self.DELTA * (5 if hai else 1)
+        self._cwnd += step / max(self._cwnd, 1.0)
+        self._clamp()
+
+    def on_loss(self, now: float) -> None:
+        if now - self._last_decrease >= self._srtt:
+            self._cwnd *= 1.0 - self.config.max_mdf
+            self._last_decrease = now
+            self._clamp()
+
+    def on_timeout(self, now: float) -> None:
+        self._cwnd = self.config.min_cwnd
+        self._last_decrease = now

@@ -1,0 +1,104 @@
+"""Isolation study: small-RPC victims sharing a congested host.
+
+Paper §1: "host congestion ... can lead to hundreds of microseconds of
+tail latency, significant throughput drop, and violation of isolation
+properties due to packet drops" — all applications share one NIC
+buffer, so an application that did nothing wrong pays for its
+neighbours' congestion.
+
+This study runs the standard incast with one *victim* connection per
+receiver thread issuing single-MTU (4 KB) RPCs, while every other
+connection issues the usual 16 KB elephant reads.  Comparing victim
+tail latency between an uncongested and a congested host quantifies the
+isolation violation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import ExperimentConfig
+from repro.core.metrics import Summary, summarize
+from repro.sim.engine import Simulator
+from repro.workload.remote_read import RemoteReadWorkload
+
+__all__ = ["IsolationResult", "run_isolation_study"]
+
+#: The victim is the connection to sender 0 on each thread.
+_VICTIM_SENDER = 0
+
+
+@dataclass(frozen=True)
+class IsolationResult:
+    """Latency summaries (µs) for victims and elephants."""
+
+    victim: Summary
+    elephant: Summary
+    drop_rate: float
+    app_throughput_gbps: float
+
+    def victim_penalty_p99(self, baseline: "IsolationResult") -> float:
+        """p99 blow-up factor of victims vs an uncongested baseline."""
+        if baseline.victim.p99 <= 0:
+            raise ValueError("baseline has no victim latency samples")
+        return self.victim.p99 / baseline.victim.p99
+
+
+class _IsolationWorkload(RemoteReadWorkload):
+    """RemoteReadWorkload with one small-RPC victim per thread."""
+
+    def __init__(self, sim: Simulator, config: ExperimentConfig):
+        super().__init__(sim, config)
+        victims = self.victim_flow_ids()
+        # Victim reads are a single MTU.
+        for flow_id in victims:
+            self.receiver.per_flow_packets[flow_id] = 1
+
+    def victim_flow_ids(self) -> List[int]:
+        return [conn.flow_id for conn in self.connections
+                if conn.sender_id == _VICTIM_SENDER]
+
+    def elephant_flow_ids(self) -> List[int]:
+        return [conn.flow_id for conn in self.connections
+                if conn.sender_id != _VICTIM_SENDER]
+
+
+def run_isolation_study(config: ExperimentConfig) -> IsolationResult:
+    """Run one isolation experiment and split latencies by class."""
+    if config.workload.senders < 2:
+        raise ValueError("isolation study needs at least 2 senders")
+    sim = Simulator()
+    workload = _IsolationWorkload(sim, config)
+    sim.run(until=config.sim.warmup)
+    workload.host.reset_stats()
+    workload.reset_stats()
+    sim.run(until=config.sim.end_time)
+    receiver = workload.receiver
+    to_us = lambda values: [v * 1e6 for v in values]  # noqa: E731
+    return IsolationResult(
+        victim=summarize(to_us(receiver.message_latencies_for(
+            workload.victim_flow_ids()))),
+        elephant=summarize(to_us(receiver.message_latencies_for(
+            workload.elephant_flow_ids()))),
+        drop_rate=workload.host.drop_rate(),
+        app_throughput_gbps=workload.host.app_throughput_bps() / 1e9,
+    )
+
+
+def congested_vs_uncongested(
+    base: ExperimentConfig,
+) -> Dict[str, IsolationResult]:
+    """Convenience: run the study at a genuinely uncongested operating
+    point (light open-loop load, no antagonists — every queue near
+    empty) and at the congested one (``base`` as given)."""
+    uncongested = dataclasses.replace(
+        base,
+        host=dataclasses.replace(base.host, antagonist_cores=0),
+        workload=dataclasses.replace(base.workload, offered_load=0.25),
+    )
+    return {
+        "uncongested": run_isolation_study(uncongested),
+        "congested": run_isolation_study(base),
+    }

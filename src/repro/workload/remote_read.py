@@ -1,0 +1,152 @@
+"""The paper's minimal host-congestion workload (§3).
+
+"40 sender machines and one receiver machine exchange traffic ...
+The receiver machine runs one or more threads, each on a dedicated
+core ...; each receiver thread issues 16KB remote reads using one
+connection per sender."
+
+This module wires senders, fabric, host, and transport together: one
+:class:`~repro.transport.base.Connection` per (receiver thread, sender)
+pair, all continuously backlogged with 16 KB read responses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import ExperimentConfig
+from repro.host.host import ReceiverHost
+from repro.net.fabric import Fabric
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.randoms import RngRegistry
+from repro.transport.base import Connection
+from repro.transport.receiver import ReceiverEndpoint
+from repro.transport.swift import make_cc
+
+__all__ = ["RemoteReadWorkload"]
+
+
+class RemoteReadWorkload:
+    """Builds and owns the full sender/fabric/host/transport graph."""
+
+    def __init__(self, sim: Simulator, config: ExperimentConfig):
+        self.sim = sim
+        self.config = config
+        rngs = RngRegistry(config.sim.seed)
+        self._arrival_rng = rngs.stream("arrivals")
+        self.host = ReceiverHost(
+            sim, config.host, rngs.stream("host"))
+        self.fabric = Fabric(
+            sim,
+            config.link,
+            n_senders=config.workload.senders,
+            deliver_to_host=self.host.deliver_packet,
+        )
+        self.receiver = ReceiverEndpoint(
+            send_ack=self.host.send_ack,
+            packets_per_read=config.workload.packets_per_read,
+            now=lambda: sim.now,
+        )
+        self.host.attach_receiver(self.receiver.on_packet)
+        self.host.attach_ack_egress(self.fabric.route_ack)
+        self.connections: List[Connection] = []
+        self._by_flow: Dict[int, Connection] = {}
+        flow_id = 0
+        cores = config.host.cpu.cores
+        for thread_id in range(cores):
+            for sender_id in range(config.workload.senders):
+                conn = self._make_connection(flow_id, sender_id, thread_id)
+                self.connections.append(conn)
+                self._by_flow[flow_id] = conn
+                flow_id += 1
+
+    def _make_connection(self, flow_id: int, sender_id: int,
+                         thread_id: int) -> Connection:
+        cfg = self.config
+        cc = make_cc(cfg.transport, cfg.swift, initial_cwnd=1.0)
+        open_loop = cfg.workload.offered_load is not None
+        conn = Connection(
+            sim=self.sim,
+            flow_id=flow_id,
+            sender_id=sender_id,
+            thread_id=thread_id,
+            cc=cc,
+            send=lambda pkt, s=sender_id: self.fabric.send_packet(s, pkt),
+            payload_bytes=cfg.workload.mtu_payload,
+            wire_bytes=cfg.workload.wire_bytes_per_packet,
+            rto=cfg.swift.rto,
+            reorder_threshold=cfg.swift.loss_retx_threshold,
+            always_backlogged=not open_loop,
+        )
+        self.fabric.register_flow(flow_id, conn.on_ack)
+        if open_loop:
+            self._start_arrivals(conn)
+        return conn
+
+    def set_offered_load(self, fraction: float) -> None:
+        """Change the open-loop offered load at run time (payload
+        fraction of the link rate).  Only valid when the workload was
+        built open-loop (``offered_load`` set)."""
+        if self.config.workload.offered_load is None:
+            raise ValueError(
+                "workload was built closed-loop; offered load is fixed")
+        if not 0 < fraction <= 2:
+            raise ValueError(f"offered load {fraction} out of (0, 2]")
+        self._offered_load = fraction
+
+    def _per_flow_read_rate(self) -> float:
+        cfg = self.config
+        n_flows = cfg.host.cpu.cores * cfg.workload.senders
+        aggregate_reads_per_s = (
+            self._offered_load * self.config.link.rate_bps
+            / (cfg.workload.read_size_bytes * 8))
+        return aggregate_reads_per_s / n_flows
+
+    def _start_arrivals(self, conn: Connection) -> None:
+        """Poisson arrivals of whole reads to one connection.
+
+        The aggregate arrival rate across all flows equals
+        ``offered_load × link rate`` in payload terms; the rate is
+        re-read on every arrival so :meth:`set_offered_load` takes
+        effect immediately (time-varying load).
+        """
+        if not hasattr(self, "_offered_load"):
+            self._offered_load = self.config.workload.offered_load
+        packets_per_read = self.config.workload.packets_per_read
+        rng = self._arrival_rng
+
+        def arrive():
+            conn.add_backlog(packets_per_read)
+            self.sim.call(rng.expovariate(self._per_flow_read_rate()),
+                          arrive)
+
+        self.sim.call(rng.expovariate(self._per_flow_read_rate()),
+                      arrive)
+
+    # -- aggregate statistics ---------------------------------------------
+
+    def total_packets_sent(self) -> int:
+        return sum(c.packets_sent for c in self.connections)
+
+    def total_retransmissions(self) -> int:
+        return sum(c.retransmissions for c in self.connections)
+
+    def total_timeouts(self) -> int:
+        return sum(c.timeouts for c in self.connections)
+
+    def mean_cwnd(self) -> float:
+        if not self.connections:
+            return 0.0
+        return sum(c.cc.cwnd() for c in self.connections) / len(
+            self.connections)
+
+    def reset_stats(self) -> None:
+        """Warmup boundary for sender-side counters."""
+        for conn in self.connections:
+            conn.packets_sent = 0
+            conn.retransmissions = 0
+            conn.acks_received = 0
+            conn.losses_detected = 0
+            conn.timeouts = 0
+        self.receiver.reset_stats()

@@ -1,0 +1,133 @@
+"""Unit tests for series, text plots, and shape-check plumbing."""
+
+import pytest
+
+from repro.analysis.compare import Finding, check_figure
+from repro.analysis.figures import FigureData, spearman
+from repro.analysis.series import Series, series_from_table
+from repro.analysis.text_plots import line_plot, scatter_plot
+from repro.core.results import ExperimentResult, ResultTable
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("bad", (1, 2), (1,))
+
+    def test_sorted_by_x(self):
+        series = Series("s", (3, 1, 2), (30, 10, 20)).sorted_by_x()
+        assert series.x == (1, 2, 3)
+        assert series.y == (10, 20, 30)
+
+    def test_min_max(self):
+        series = Series("s", (1, 2), (5, -1))
+        assert series.ymax() == 5
+        assert series.ymin() == -1
+
+    def test_from_table_with_filter(self):
+        table = ResultTable([
+            ExperimentResult({"cores": 2, "iommu": True}, {"tput": 20.0}),
+            ExperimentResult({"cores": 4, "iommu": True}, {"tput": 40.0}),
+            ExperimentResult({"cores": 2, "iommu": False}, {"tput": 25.0}),
+        ])
+        series = series_from_table(table, "cores", "tput", "on",
+                                   iommu=True)
+        assert series.x == (2.0, 4.0)
+        assert series.y == (20.0, 40.0)
+
+
+class TestTextPlots:
+    def test_line_plot_contains_series_and_legend(self):
+        out = line_plot(
+            [Series("alpha", (1, 2, 3), (1, 4, 9))],
+            title="squares", x_label="n", y_label="n^2")
+        assert "squares" in out
+        assert "alpha" in out
+        assert "o" in out
+
+    def test_line_plot_multiple_series_distinct_markers(self):
+        out = line_plot([
+            Series("a", (1, 2), (1, 2)),
+            Series("b", (1, 2), (2, 1)),
+        ])
+        assert "o = a" in out
+        assert "x = b" in out
+
+    def test_line_plot_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([])
+
+    def test_flat_series_does_not_crash(self):
+        out = line_plot([Series("flat", (1, 2, 3), (5, 5, 5))])
+        assert "flat" in out
+
+    def test_scatter_plot(self):
+        out = scatter_plot([(0.1, 0.0), (0.9, 0.03)],
+                           title="fleet")
+        assert "fleet" in out
+        assert "2 hosts" in out
+
+    def test_scatter_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot([])
+
+
+class TestSpearman:
+    def test_perfect_positive(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert spearman([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_is_zero(self):
+        assert spearman([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_ties_handled(self):
+        value = spearman([1, 1, 2, 3], [1, 2, 3, 4])
+        assert -1.0 <= value <= 1.0
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            spearman([1], [1, 2])
+
+
+class TestFigureData:
+    def make_fig(self):
+        return FigureData(
+            name="figure1",
+            title="t",
+            panels={"p": ("x", "y", [Series("s", (1, 2), (3, 4))])},
+            scatter=[(0.5, 0.01)],
+            notes={"spearman": 0.9, "low_util_hosts_with_drops": 2,
+                   "hosts_with_drops": 3, "hosts": 10,
+                   "drop_fraction_high_util": 0.8,
+                   "drop_fraction_low_util": 0.1},
+        )
+
+    def test_render_includes_everything(self):
+        out = self.make_fig().render()
+        assert "figure1" in out
+        assert "notes:" in out
+
+    def test_csv_export(self, tmp_path):
+        paths = self.make_fig().to_csv_dir(tmp_path)
+        assert len(paths) == 2  # panel + scatter
+        panel_csv = (tmp_path / "figure1_p.csv").read_text()
+        assert panel_csv.splitlines()[0] == "x,s"
+
+    def test_check_figure_dispatch(self):
+        findings = check_figure(self.make_fig())
+        assert all(isinstance(f, Finding) for f in findings)
+        assert all(f.passed for f in findings)
+
+    def test_check_figure_unknown_name(self):
+        fig = self.make_fig()
+        fig.name = "figure99"
+        with pytest.raises(ValueError):
+            check_figure(fig)
+
+    def test_finding_str_format(self):
+        f = Finding("figure1", "criterion", True, "detail")
+        assert str(f) == "[PASS] figure1: criterion (detail)"
+        f2 = Finding("figure1", "criterion", False, "detail")
+        assert "[FAIL]" in str(f2)

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_defaults_parse():
+    args = build_parser().parse_args(["run"])
+    assert args.cores == 12
+    assert not args.no_iommu
+    assert args.transport == "swift"
+
+
+def test_run_command_executes(capsys):
+    code = main(["run", "--cores", "4", "--senders", "8",
+                 "--warmup-ms", "1", "--duration-ms", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "app throughput" in out
+    assert "drop rate" in out
+
+
+def test_run_no_iommu_flag(capsys):
+    code = main(["run", "--cores", "4", "--senders", "8", "--no-iommu",
+                 "--warmup-ms", "1", "--duration-ms", "2"])
+    assert code == 0
+    assert "'iommu': False" in capsys.readouterr().out
+
+
+def test_sweep_cores_table(capsys):
+    code = main(["sweep", "cores", "2", "4",
+                 "--warmup-ms", "1", "--duration-ms", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tput Gbps" in out
+    # Two core counts x two IOMMU states = 4 data rows.
+    data_rows = [line for line in out.splitlines()
+                 if line.strip() and line.lstrip()[0].isdigit()]
+    assert len(data_rows) == 4
+
+
+def test_sweep_writes_csv(tmp_path, capsys):
+    csv_path = tmp_path / "sweep.csv"
+    code = main(["sweep", "antagonists", "0",
+                 "--warmup-ms", "1", "--duration-ms", "2",
+                 "--csv", str(csv_path)])
+    assert code == 0
+    assert csv_path.exists()
+    assert "antagonist_cores" in csv_path.read_text().splitlines()[0]
+
+
+def test_model_table(capsys):
+    code = main(["model", "--cores", "16"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "bound (Gbps)" in out
+    rows = [line for line in out.splitlines()[1:] if line.strip()]
+    values = [float(row.split()[1]) for row in rows]
+    assert values == sorted(values, reverse=True)  # monotone in misses
+
+
+def test_fleet_command(capsys):
+    code = main(["fleet", "--hosts", "2",
+                 "--warmup-ms", "0.5", "--duration-ms", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hosts dropping" in out
+
+
+def test_figure_choices_validated():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "2"])  # fig 2 is a diagram

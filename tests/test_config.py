@@ -1,0 +1,130 @@
+"""Unit tests for configuration validation and helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import calibration as cal
+from repro.core.config import (
+    CpuConfig,
+    DdioConfig,
+    ExperimentConfig,
+    HostConfig,
+    IommuConfig,
+    LinkConfig,
+    MemoryConfig,
+    NicConfig,
+    PcieConfig,
+    SimConfig,
+    SwiftConfig,
+    WorkloadConfig,
+)
+
+
+class TestCalibration:
+    def test_max_app_goodput_is_92gbps(self):
+        assert cal.MAX_APP_GOODPUT_BPS == pytest.approx(92e9, rel=0.001)
+
+    def test_swift_blindspot_matches_paper_computation(self):
+        # 1 MB buffer over the 100 µs target: ~83.9 Gbps of wire rate.
+        assert cal.SWIFT_BLINDSPOT_WIRE_BPS == pytest.approx(
+            2**20 * 8 / 100e-6)
+
+    def test_inflight_window_is_five_packets(self):
+        assert cal.PCIE_MAX_INFLIGHT_BYTES == 5 * 4452
+
+
+class TestValidation:
+    def test_iommu_ways_must_divide(self):
+        with pytest.raises(ValueError):
+            IommuConfig(iotlb_entries=128, iotlb_ways=7)
+
+    def test_memory_achievable_within_theoretical(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(achievable_Bps=200e9, theoretical_Bps=115e9)
+
+    def test_memory_reservation_range(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(nic_reserved_fraction=1.0)
+        MemoryConfig(nic_reserved_fraction=0.5)
+
+    def test_nic_buffer_fits_a_packet(self):
+        with pytest.raises(ValueError):
+            NicConfig(buffer_bytes=100)
+
+    def test_nic_ack_coalescing_positive(self):
+        with pytest.raises(ValueError):
+            NicConfig(ack_coalescing=0)
+
+    def test_cpu_cores_positive(self):
+        with pytest.raises(ValueError):
+            CpuConfig(cores=0)
+
+    def test_host_region_minimum(self):
+        with pytest.raises(ValueError):
+            HostConfig(rx_region_bytes=1000)
+
+    def test_host_antagonists_non_negative(self):
+        with pytest.raises(ValueError):
+            HostConfig(antagonist_cores=-1)
+
+    def test_swift_targets_positive(self):
+        with pytest.raises(ValueError):
+            SwiftConfig(host_target=0.0)
+        with pytest.raises(ValueError):
+            SwiftConfig(max_mdf=1.5)
+        with pytest.raises(ValueError):
+            SwiftConfig(hold_threshold=0.0)
+
+    def test_workload_read_at_least_one_mtu(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(read_size_bytes=100)
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            LinkConfig(rate_bps=0)
+
+    def test_sim_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(duration=0)
+        with pytest.raises(ValueError):
+            SimConfig(warmup=-1)
+
+    def test_transport_name_checked(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(transport="reno")
+
+
+class TestHelpers:
+    def test_workload_wire_bytes(self):
+        wl = WorkloadConfig()
+        assert wl.wire_bytes_per_packet == 4096 + 356
+
+    def test_workload_packets_per_read(self):
+        assert WorkloadConfig(read_size_bytes=16384).packets_per_read == 4
+        assert WorkloadConfig(read_size_bytes=10000).packets_per_read == 3
+
+    def test_ddio_fractions_switch(self):
+        on = DdioConfig(enabled=True).copy_demand_fractions()
+        off = DdioConfig(enabled=False).copy_demand_fractions()
+        assert on[0] < off[0]
+
+    def test_host_with_helper(self):
+        host = HostConfig()
+        changed = host.with_(antagonist_cores=5)
+        assert changed.antagonist_cores == 5
+        assert host.antagonist_cores == 0
+
+    def test_sim_end_time(self):
+        assert SimConfig(warmup=1e-3, duration=2e-3).end_time == 3e-3
+
+    def test_describe_flat_summary(self):
+        desc = ExperimentConfig().describe()
+        assert desc["transport"] == "swift"
+        assert desc["cores"] == 12
+        assert desc["rx_region_mb"] == 12.0
+
+    def test_configs_are_frozen(self):
+        cfg = HostConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.antagonist_cores = 3

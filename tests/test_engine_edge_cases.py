@@ -1,0 +1,136 @@
+"""Additional engine edge cases: crash propagation, chained waits."""
+
+import pytest
+
+from repro.sim import Event, Simulator
+from repro.sim.engine import SimulationError
+
+
+def test_waiting_on_a_crashing_process_propagates():
+    sim = Simulator()
+    caught = []
+
+    def child():
+        yield 1e-6
+        raise RuntimeError("child crashed")
+
+    def parent(child_proc):
+        try:
+            yield child_proc
+        except RuntimeError as err:
+            caught.append(str(err))
+
+    proc = None
+
+    def boot():
+        nonlocal proc
+        proc = sim.process(child())
+        sim.process(parent(proc))
+
+    sim.call(0.0, boot)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    # The crash is re-raised out of run(); the parent still got it.
+    sim.run()
+    assert caught == ["child crashed"]
+    assert proc.done.ok is False
+
+
+def test_process_chain_passes_values():
+    sim = Simulator()
+    results = []
+
+    def stage(value):
+        yield 1e-6
+        return value * 2
+
+    def pipeline():
+        a = yield sim.process(stage(3))
+        b = yield sim.process(stage(a))
+        results.append(b)
+
+    sim.process(pipeline())
+    sim.run()
+    assert results == [12]
+
+
+def test_event_callbacks_run_within_same_timestamp():
+    sim = Simulator()
+    log = []
+    ev = sim.event()
+    ev.add_callback(lambda e: log.append(("cb", sim.now)))
+    sim.call(3e-6, ev.succeed)
+    sim.call(3e-6, lambda: log.append(("after", sim.now)))
+    sim.run()
+    assert log == [("cb", 3e-6), ("after", 3e-6)]
+
+
+def test_timeout_value_roundtrip():
+    sim = Simulator()
+    seen = []
+    sim.timeout(1e-6, {"key": 1}).add_callback(
+        lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == [{"key": 1}]
+
+
+def test_interrupt_during_timeout_reschedules_cleanly():
+    sim = Simulator()
+    timeline = []
+
+    def proc():
+        try:
+            yield 100e-6
+        except Exception:
+            timeline.append(("interrupted", sim.now))
+        yield 5e-6
+        timeline.append(("done", sim.now))
+
+    p = sim.process(proc())
+    sim.call(10e-6, p.interrupt, "stop-waiting")
+    sim.run()
+    assert [tag for tag, _ in timeline] == ["interrupted", "done"]
+    assert timeline[0][1] == pytest.approx(10e-6)
+    assert timeline[1][1] == pytest.approx(15e-6)
+
+
+def test_run_with_until_before_now_is_noop():
+    sim = Simulator()
+    sim.call(1e-3, lambda: None)
+    sim.run(until=2e-3)
+    # Running again to an earlier point must not rewind time.
+    sim.run(until=1e-3)
+    assert sim.now == 2e-3
+
+
+def test_stop_inside_process_halts():
+    sim = Simulator()
+    progressed = []
+
+    def proc():
+        yield 1e-6
+        sim.stop()
+        yield 1e-6
+        progressed.append(True)
+
+    sim.process(proc())
+    sim.run()
+    assert progressed == []
+    sim.run()
+    assert progressed == [True]
+
+
+def test_zero_delay_self_reschedule_is_bounded_by_until():
+    # A callback that reschedules itself at +0 must still respect the
+    # run(until=...) boundary through the stop flag (no livelock).
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < 100:
+            sim.call(1e-9, tick)
+
+    sim.call(0.0, tick)
+    sim.run(until=1.0)
+    assert count[0] == 100

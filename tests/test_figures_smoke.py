@@ -1,0 +1,64 @@
+"""Smoke tests of the figure-regeneration pipeline on tiny grids.
+
+Full-scale regeneration (with shape assertions) lives in
+``benchmarks/``; these tests only verify plumbing: panels present,
+series shaped correctly, CSV export working.
+"""
+
+import pytest
+
+from repro.analysis.figures import figure3, figure5, figure6
+
+
+@pytest.fixture(scope="module")
+def fig3_tiny():
+    return figure3(quality="quick", cores=(2, 10))
+
+
+def test_figure3_panels_and_series(fig3_tiny):
+    assert set(fig3_tiny.panels) == {"throughput", "drop rate",
+                                     "iotlb misses"}
+    _, _, tput_series = fig3_tiny.panels["throughput"]
+    labels = [s.label for s in tput_series]
+    assert "App Throughput -- IOMMU ON" in labels
+    assert "App Throughput -- IOMMU OFF" in labels
+    assert "Max Achievable Throughput" in labels
+    for series in tput_series:
+        if series.label.startswith("App"):
+            assert series.x == (2.0, 10.0)
+
+
+def test_figure3_model_line_only_in_bottleneck_regime(fig3_tiny):
+    _, _, tput_series = fig3_tiny.panels["throughput"]
+    (model,) = [s for s in tput_series if s.label.startswith("Modeled")]
+    assert all(x >= 10 for x in model.x)
+
+
+def test_figure3_render_and_csv(fig3_tiny, tmp_path):
+    out = fig3_tiny.render()
+    assert "figure3" in out
+    paths = fig3_tiny.to_csv_dir(tmp_path)
+    assert len(paths) == 3
+    throughput_csv = (tmp_path / "figure3_throughput.csv").read_text()
+    assert throughput_csv.startswith("receiver cores,")
+
+
+def test_figure5_tiny_grid():
+    fig = figure5(quality="quick", region_mb=(4, 16))
+    _, _, misses = fig.panels["iotlb misses"]
+    (on,) = misses
+    assert on.x == (4.0, 16.0)
+    assert on.y[1] > on.y[0]  # more region, more misses
+
+
+def test_figure6_tiny_grid():
+    fig = figure6(quality="quick", antagonists=(0, 15))
+    _, _, bw = fig.panels["memory bandwidth"]
+    for series in bw:
+        lookup = dict(zip(series.x, series.y))
+        assert lookup[15.0] > lookup[0.0]
+
+
+def test_bad_quality_rejected():
+    with pytest.raises(ValueError):
+        figure3(quality="ultra")

@@ -1,0 +1,63 @@
+"""Tests for the Figure-1 fleet sampler."""
+
+import pytest
+
+from repro.workload.fleet import FleetSample, FleetSampler
+
+
+def test_draws_are_deterministic_for_seed():
+    a = [FleetSampler(seed=5).draw_config(i).describe() for i in range(10)]
+    b = [FleetSampler(seed=5).draw_config(i).describe() for i in range(10)]
+    assert a == b
+
+
+def test_draws_vary_across_hosts():
+    sampler = FleetSampler(seed=5)
+    descriptions = [sampler.draw_config(i).describe() for i in range(20)]
+    assert len({tuple(sorted(d.items())) for d in descriptions}) > 5
+
+
+def test_draws_cover_both_transports_and_iommu_states():
+    sampler = FleetSampler(seed=5)
+    configs = [sampler.draw_config(i) for i in range(50)]
+    transports = {c.transport for c in configs}
+    assert "swift" in transports and "cubic" in transports
+    assert {c.host.iommu.enabled for c in configs} == {True, False}
+    assert max(c.host.antagonist_cores for c in configs) >= 12
+
+
+def test_run_produces_samples_with_bounded_fields():
+    sampler = FleetSampler(seed=5, warmup=0.5e-3, duration=1e-3)
+    samples = sampler.run(2)
+    assert len(samples) == 2
+    for sample in samples:
+        assert 0 <= sample.link_utilization <= 1.1
+        assert 0 <= sample.drop_rate <= 1.0
+        assert sample.transport in ("swift", "cubic")
+
+
+def test_progress_callback():
+    sampler = FleetSampler(seed=5, warmup=0.5e-3, duration=1e-3)
+    seen = []
+    sampler.run(2, progress=lambda done, total: seen.append((done, total)))
+    assert seen == [(1, 2), (2, 2)]
+
+
+class TestCongestionClass:
+    def sample(self, **kwargs):
+        defaults = dict(host_index=0, link_utilization=0.5,
+                        drop_rate=0.01, transport="swift", cores=12,
+                        antagonist_cores=0, iommu=True, hugepages=True)
+        defaults.update(kwargs)
+        return FleetSample(**defaults)
+
+    def test_memory_bus_label(self):
+        assert self.sample(
+            antagonist_cores=12).congestion_class == "memory-bus"
+
+    def test_iommu_label(self):
+        assert self.sample(cores=12).congestion_class == "iommu"
+
+    def test_benign_label(self):
+        assert self.sample(
+            cores=4, iommu=False).congestion_class == "cpu-or-none"

@@ -1,0 +1,119 @@
+"""Unit tests for the IOMMU translation path."""
+
+import pytest
+
+from repro.core.config import IommuConfig, MemoryConfig
+from repro.host.addressing import PAGE_4K, Region
+from repro.host.iommu import Iommu, ZERO_TRANSLATION
+from repro.host.iotlb import Iotlb
+from repro.host.memory import MemoryController
+from repro.host.pagetable import PageTable, TranslationFault
+from repro.sim import Simulator
+
+
+def make_iommu(enabled=True, iotlb_entries=8, device_tlb=0,
+               n_pages=16):
+    sim = Simulator()
+    memory = MemoryController(sim, MemoryConfig())
+    table = PageTable(walk_cache_entries=8)
+    region = Region(base=0, size=n_pages * PAGE_4K, page_size=PAGE_4K)
+    table.register_region(region)
+    config = IommuConfig(enabled=enabled, iotlb_entries=iotlb_entries,
+                         iotlb_ways=None,
+                         device_tlb_entries=device_tlb)
+    iommu = Iommu(config, Iotlb(iotlb_entries), table, memory)
+    return sim, iommu, region
+
+
+def test_disabled_iommu_is_free():
+    _, iommu, region = make_iommu(enabled=False)
+    result = iommu.translate(region.page_keys()[:4])
+    assert result is ZERO_TRANSLATION
+    assert result.latency == 0.0
+    assert iommu.translations == 0
+
+
+def test_cold_translation_misses_and_pays_walk():
+    _, iommu, region = make_iommu()
+    result = iommu.translate([region.page_keys()[0]])
+    assert result.iotlb_misses == 1
+    assert result.walk_memory_accesses >= 1
+    assert result.latency > 0
+
+
+def test_warm_translation_hits_at_hit_latency():
+    _, iommu, region = make_iommu()
+    page = region.page_keys()[0]
+    iommu.translate([page])
+    result = iommu.translate([page])
+    assert result.iotlb_misses == 0
+    assert result.latency == pytest.approx(
+        iommu.config.iotlb_hit_latency)
+
+
+def test_multi_page_translation_accumulates():
+    _, iommu, region = make_iommu()
+    pages = region.page_keys()[:3]
+    result = iommu.translate(pages)
+    assert result.accesses == 3
+    assert result.iotlb_misses == 3
+
+
+def test_miss_latency_scales_with_memory_contention():
+    sim_a, iommu_a, region_a = make_iommu()
+    cold_a = iommu_a.translate([region_a.page_keys()[0]])
+
+    sim_b = Simulator()
+    memory_b = MemoryController(
+        sim_b, MemoryConfig(achievable_Bps=100e9))
+    memory_b.register_constant("stream", "cpu", 150e9)
+    sim_b.run(until=1e-3)
+    table = PageTable(walk_cache_entries=8)
+    region = Region(base=0, size=16 * PAGE_4K, page_size=PAGE_4K)
+    table.register_region(region)
+    iommu_b = Iommu(IommuConfig(iotlb_ways=None), Iotlb(8), table,
+                    memory_b)
+    cold_b = iommu_b.translate([region.page_keys()[0]])
+    assert cold_b.latency > cold_a.latency
+
+
+def test_translating_unmapped_page_faults():
+    _, iommu, _ = make_iommu()
+    with pytest.raises(TranslationFault):
+        iommu.translate([0xdeadbeef000])
+
+
+def test_misses_per_translation_metric():
+    _, iommu, region = make_iommu()
+    page = region.page_keys()[0]
+    iommu.translate([page])   # 1 miss
+    iommu.translate([page])   # 0 misses
+    assert iommu.misses_per_translation() == pytest.approx(0.5)
+
+
+def test_reset_stats_preserves_cache_state():
+    _, iommu, region = make_iommu()
+    page = region.page_keys()[0]
+    iommu.translate([page])
+    iommu.reset_stats()
+    assert iommu.translations == 0
+    result = iommu.translate([page])
+    assert result.iotlb_misses == 0  # cache contents survived
+
+
+def test_device_tlb_absorbs_hits():
+    _, iommu, region = make_iommu(device_tlb=16)
+    page = region.page_keys()[0]
+    iommu.translate([page])   # populates both TLBs
+    iommu.iotlb.invalidate_all()
+    result = iommu.translate([page])
+    # Device TLB (ATS) hit: no IOTLB traffic, no walk.
+    assert result.iotlb_misses == 0
+
+
+def test_capacity_thrash_produces_steady_misses():
+    _, iommu, region = make_iommu(iotlb_entries=4, n_pages=16)
+    pages = region.page_keys()  # 16 pages through a 4-entry IOTLB
+    for _ in range(5):
+        iommu.translate(pages)
+    assert iommu.misses_per_translation() > 10  # ~16 misses/translation

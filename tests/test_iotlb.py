@@ -1,0 +1,120 @@
+"""Unit tests for the IOTLB cache."""
+
+import pytest
+
+from repro.host.iotlb import Iotlb
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Iotlb(entries=0)
+
+
+def test_ways_must_divide_entries():
+    with pytest.raises(ValueError):
+        Iotlb(entries=128, ways=3)
+    Iotlb(entries=128, ways=4)  # fine
+
+
+def test_first_access_misses_then_hits():
+    tlb = Iotlb(entries=4)
+    assert not tlb.access(0x1000)
+    assert tlb.access(0x1000)
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_lru_eviction_order():
+    tlb = Iotlb(entries=2)
+    tlb.access(0x1000)
+    tlb.access(0x2000)
+    tlb.access(0x1000)      # refresh 0x1000
+    tlb.access(0x3000)      # evicts 0x2000 (LRU)
+    assert tlb.contains(0x1000)
+    assert not tlb.contains(0x2000)
+    assert tlb.evictions == 1
+
+
+def test_working_set_within_capacity_all_hits_after_warmup():
+    tlb = Iotlb(entries=8)
+    pages = [i * 0x1000 for i in range(8)]
+    for page in pages:
+        tlb.access(page)
+    tlb.reset_stats()
+    for _ in range(10):
+        for page in pages:
+            assert tlb.access(page)
+    assert tlb.miss_ratio() == 0.0
+
+
+def test_working_set_over_capacity_thrashes_under_round_robin():
+    # Sequential scan over capacity+1 pages is the LRU worst case.
+    tlb = Iotlb(entries=4)
+    pages = [i * 0x1000 for i in range(5)]
+    for _ in range(3):
+        for page in pages:
+            tlb.access(page)
+    assert tlb.miss_ratio() == 1.0
+
+
+def test_occupancy_capped_at_entries():
+    tlb = Iotlb(entries=4)
+    for i in range(100):
+        tlb.access(i * 0x1000)
+    assert tlb.occupancy == 4
+
+
+def test_invalidate_single_entry():
+    tlb = Iotlb(entries=4)
+    tlb.access(0x1000)
+    assert tlb.invalidate(0x1000)
+    assert not tlb.contains(0x1000)
+    assert not tlb.invalidate(0x1000)  # already gone
+
+
+def test_invalidate_all():
+    tlb = Iotlb(entries=4)
+    for i in range(4):
+        tlb.access(i * 0x1000)
+    tlb.invalidate_all()
+    assert tlb.occupancy == 0
+
+
+def test_contains_does_not_touch_stats_or_lru():
+    tlb = Iotlb(entries=2)
+    tlb.access(0x1000)
+    tlb.access(0x2000)
+    tlb.contains(0x1000)      # must NOT refresh LRU position
+    hits, misses = tlb.hits, tlb.misses
+    tlb.access(0x3000)        # evicts 0x1000 (still LRU)
+    assert not tlb.contains(0x1000)
+    assert (tlb.hits, tlb.misses) == (hits, misses + 1)
+
+
+def test_reset_stats_keeps_contents():
+    tlb = Iotlb(entries=4)
+    tlb.access(0x1000)
+    tlb.reset_stats()
+    assert tlb.hits == 0 and tlb.misses == 0
+    assert tlb.access(0x1000)  # still cached
+
+
+def test_set_associative_distributes_hugepages():
+    # Regression: 2 MB-aligned pages must not collapse onto one set.
+    tlb = Iotlb(entries=128, ways=8)
+    pages = [i * 2 * 2**20 for i in range(64)]
+    for page in pages:
+        tlb.access(page)
+    occupied_sets = sum(1 for s in tlb._sets if len(s) > 0)
+    assert occupied_sets > 8
+
+
+def test_set_associative_capacity_equals_total_entries():
+    tlb = Iotlb(entries=16, ways=4)
+    for i in range(16):
+        tlb.access(i * 0x1000)
+    assert tlb.occupancy <= 16
+
+
+def test_miss_ratio_zero_when_untouched():
+    assert Iotlb(entries=4).miss_ratio() == 0.0

@@ -1,0 +1,127 @@
+"""Tests for the dynamic LLC/DDIO residency model (leaky DMA)."""
+
+import random
+
+import pytest
+
+from repro.core.config import DdioConfig, HostConfig, MemoryConfig
+from repro.host import ReceiverHost
+from repro.host.llc import DynamicLlcModel
+from repro.host.memory import MemoryController
+from repro.net.packet import Packet
+from repro.sim import Simulator
+
+
+def make_model(slice_bytes=16384, enabled=True):
+    sim = Simulator()
+    memory = MemoryController(sim, MemoryConfig())
+    model = DynamicLlcModel(
+        DdioConfig(enabled=enabled, dynamic_llc=True,
+                   ddio_slice_bytes=slice_bytes),
+        memory)
+    return model
+
+
+def pkt(seq, payload=4096):
+    return Packet(flow_id=0, seq=seq, payload_bytes=payload,
+                  wire_bytes=payload + 356, sent_time=0.0, thread_id=0)
+
+
+def test_prompt_copy_hits_in_llc():
+    model = make_model(slice_bytes=16384)
+    p = pkt(0)
+    model.record_dma_write(p)
+    model.record_copy(p)
+    assert model.llc_hits == 1
+    assert model.llc_misses == 0
+    assert model._reads.bytes_pending == 0
+
+
+def test_delayed_copy_misses_after_slice_turnover():
+    # Slice fits 4 packets; copy packet 0 after 5 newer DMAs: evicted.
+    model = make_model(slice_bytes=4 * 4096)
+    first = pkt(0)
+    model.record_dma_write(first)
+    for seq in range(1, 6):
+        model.record_dma_write(pkt(seq))
+    model.record_copy(first)
+    assert model.llc_misses == 1
+    assert model._reads.bytes_pending == 4096
+
+
+def test_residency_boundary_exact():
+    model = make_model(slice_bytes=2 * 4096)
+    a = pkt(0)
+    model.record_dma_write(a)
+    model.record_dma_write(pkt(1))  # cursor - stamp = 4096 < 8192: hit
+    model.record_copy(a)
+    assert model.llc_hits == 1
+    b = pkt(2)
+    model.record_dma_write(b)
+    model.record_dma_write(pkt(3))
+    model.record_dma_write(pkt(4))  # cursor - stamp = 8192: evicted
+    model.record_copy(b)
+    assert model.llc_misses == 1
+
+
+def test_ddio_disabled_every_copy_misses():
+    model = make_model(enabled=False)
+    p = pkt(0)
+    model.record_dma_write(p)
+    model.record_copy(p)
+    assert model.llc_misses == 1
+
+
+def test_plain_byte_count_treated_as_miss():
+    model = make_model()
+    model.record_copy(4096)
+    assert model.llc_misses == 1
+    assert model.payload_bytes_copied == 4096
+
+
+def test_hit_ratio():
+    model = make_model(slice_bytes=10 * 4096)
+    for seq in range(4):
+        p = pkt(seq)
+        model.record_dma_write(p)
+        model.record_copy(p)
+    assert model.hit_ratio() == 1.0
+
+
+def test_host_uses_dynamic_model_when_configured():
+    sim = Simulator()
+    config = HostConfig(
+        ddio=DdioConfig(dynamic_llc=True, ddio_slice_bytes=2**20))
+    host = ReceiverHost(sim, config, random.Random(0))
+    assert isinstance(host.copy_model, DynamicLlcModel)
+
+
+def test_leaky_dma_emerges_with_cpu_backlog():
+    """End-to-end: a slow CPU lets the DDIO slice turn over before the
+    copy happens, so read misses appear (the leaky-DMA effect)."""
+    import dataclasses
+
+    from repro.core.config import CpuConfig
+    from repro.net.packet import Packet as P
+
+    def run(core_rate_bps):
+        sim = Simulator()
+        config = HostConfig(
+            cpu=CpuConfig(cores=1, core_rate_bps=core_rate_bps),
+            ddio=DdioConfig(dynamic_llc=True,
+                            ddio_slice_bytes=64 * 4096),
+        )
+        host = ReceiverHost(sim, config, random.Random(0))
+        host.attach_ack_egress(lambda a: None)
+        host.attach_receiver(lambda p: None)
+        # Offer 1000 packets fast: DMA far outpaces the CPU.
+        for i in range(1000):
+            pkt = P(0, i, 4096, 4452, 0.0, 0)
+            sim.call(i * 0.4e-6, host.deliver_packet, pkt)
+        sim.run(until=50e-3)
+        return host.copy_model.hit_ratio()
+
+    fast_cpu = run(150e9)    # faster than the DMA drain: prompt copies
+    slow_cpu = run(2e9)      # large backlog: slice turns over
+    assert fast_cpu > 0.9
+    assert slow_cpu < 0.5

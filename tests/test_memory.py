@@ -1,0 +1,162 @@
+"""Unit tests for the memory controller."""
+
+import pytest
+
+from repro.core.config import MemoryConfig
+from repro.host.memory import (
+    MemoryController,
+    queue_delay_for,
+    weighted_water_fill,
+)
+from repro.sim import Simulator
+
+
+class TestWaterFill:
+    def test_empty(self):
+        assert weighted_water_fill([], [], 100) == []
+
+    def test_under_capacity_everyone_satisfied(self):
+        alloc = weighted_water_fill([10, 20], [1, 1], 100)
+        assert alloc == [10, 20]
+
+    def test_over_capacity_split_by_weight(self):
+        alloc = weighted_water_fill([100, 100], [3, 1], 80)
+        assert alloc == pytest.approx([60, 20])
+
+    def test_small_demand_fully_served_before_weights_apply(self):
+        alloc = weighted_water_fill([5, 1000], [1, 1], 100)
+        assert alloc == pytest.approx([5, 95])
+
+    def test_total_never_exceeds_capacity(self):
+        alloc = weighted_water_fill([50, 60, 70], [1, 2, 3], 100)
+        assert sum(alloc) == pytest.approx(100)
+
+    def test_zero_demand_gets_zero(self):
+        alloc = weighted_water_fill([0, 50], [1, 1], 100)
+        assert alloc == [0, 50]
+
+
+class TestQueueDelayCurve:
+    def test_zero_below_knee(self):
+        cfg = MemoryConfig()
+        assert queue_delay_for(0.0, cfg) == 0.0
+        assert queue_delay_for(0.5, cfg) == 0.0
+
+    def test_max_at_and_beyond_saturation(self):
+        cfg = MemoryConfig()
+        assert queue_delay_for(1.0, cfg) == pytest.approx(
+            cfg.max_queue_delay)
+        assert queue_delay_for(1.5, cfg) == pytest.approx(
+            cfg.max_queue_delay)
+
+    def test_monotone_increasing(self):
+        cfg = MemoryConfig()
+        values = [queue_delay_for(r / 100, cfg) for r in range(0, 151, 5)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+def make_controller(**overrides):
+    sim = Simulator()
+    return sim, MemoryController(sim, MemoryConfig(**overrides))
+
+
+class TestMemoryController:
+    def test_duplicate_source_rejected(self):
+        _, mem = make_controller()
+        mem.register_counter("a", "nic")
+        with pytest.raises(ValueError):
+            mem.register_counter("a", "cpu")
+        with pytest.raises(ValueError):
+            mem.register_constant("a", "cpu", 1e9)
+
+    def test_bad_source_class_rejected(self):
+        _, mem = make_controller()
+        with pytest.raises(ValueError):
+            mem.register_counter("x", "gpu")
+
+    def test_negative_constant_rate_rejected(self):
+        _, mem = make_controller()
+        with pytest.raises(ValueError):
+            mem.register_constant("x", "cpu", -1.0)
+
+    def test_idle_latency_when_uncontended(self):
+        sim, mem = make_controller()
+        sim.run(until=1e-3)
+        assert mem.dma_write_latency() == pytest.approx(
+            mem.config.idle_latency)
+        assert mem.walk_access_latency() == pytest.approx(
+            mem.config.walk_base_latency)
+
+    def test_constant_source_drives_utilization(self):
+        sim, mem = make_controller(achievable_Bps=100e9)
+        mem.register_constant("stream", "cpu", 50e9)
+        sim.run(until=1e-3)
+        assert mem.utilization == pytest.approx(0.5)
+
+    def test_latency_rises_under_saturation(self):
+        sim, mem = make_controller(achievable_Bps=100e9)
+        mem.register_constant("stream", "cpu", 120e9)
+        sim.run(until=1e-3)
+        assert mem.dma_write_latency() == pytest.approx(
+            mem.config.idle_latency + mem.config.max_queue_delay)
+        # Walks see only a fraction of the inflation.
+        assert mem.walk_access_latency() < mem.dma_write_latency()
+
+    def test_counter_source_rate_converges(self):
+        sim, mem = make_controller(achievable_Bps=100e9)
+        counter = mem.register_counter("nic", "nic")
+        interval = mem.config.tick_interval
+
+        def feed():
+            counter.add(int(10e9 * interval))  # 10 GB/s
+            sim.call(interval, feed)
+
+        sim.call(0.0, feed)
+        sim.run(until=2e-3)  # many demand_tau periods
+        assert counter.rate_Bps == pytest.approx(10e9, rel=0.05)
+
+    def test_allocation_respects_weights_under_saturation(self):
+        sim, mem = make_controller(achievable_Bps=90e9,
+                                   cpu_weight=4.0, nic_weight=1.0)
+        mem.register_constant("stream", "cpu", 120e9)
+        mem.register_constant("nic-ish", "nic", 60e9)
+        sim.run(until=1e-3)
+        alloc = mem.current_demands()
+        achieved = mem.achieved_bandwidth()
+        # CPU gets its weighted share: 4/5 of 90 = 72, NIC 18.  (First
+        # tick happens 20 µs in, so integrals carry ~2% startup slack.)
+        assert achieved["stream"] == pytest.approx(72e9, rel=0.05)
+        assert achieved["nic-ish"] == pytest.approx(18e9, rel=0.05)
+        assert alloc["stream"] == 120e9
+
+    def test_total_achieved_capped_at_capacity(self):
+        sim, mem = make_controller(achievable_Bps=90e9)
+        mem.register_constant("a", "cpu", 80e9)
+        mem.register_constant("b", "cpu", 80e9)
+        sim.run(until=1e-3)
+        assert mem.total_achieved_bandwidth() <= 90e9 * 1.001
+
+    def test_mba_reservation_caps_cpu_demand(self):
+        sim, mem = make_controller(achievable_Bps=100e9,
+                                   nic_reserved_fraction=0.2)
+        mem.register_constant("stream", "cpu", 200e9)
+        sim.run(until=1e-3)
+        # CPU demand capped at 80 GB/s, so rho = 0.8: no saturation.
+        assert mem.utilization == pytest.approx(0.8, rel=0.01)
+
+    def test_reset_accounting_restarts_integrals(self):
+        sim, mem = make_controller(achievable_Bps=100e9)
+        mem.register_constant("stream", "cpu", 50e9)
+        sim.run(until=1e-3)
+        mem.reset_accounting()
+        sim.run(until=2e-3)
+        assert mem.achieved_bandwidth()["stream"] == pytest.approx(
+            50e9, rel=0.05)
+
+    def test_set_constant_rate_updates_demand(self):
+        sim, mem = make_controller(achievable_Bps=100e9)
+        mem.register_constant("stream", "cpu", 10e9)
+        sim.run(until=0.5e-3)
+        mem.set_constant_rate("stream", 70e9)
+        sim.run(until=1.5e-3)
+        assert mem.utilization == pytest.approx(0.7, rel=0.01)

@@ -1,0 +1,107 @@
+"""Tests for open-loop offered load and sender backlog handling."""
+
+import pytest
+
+from repro.core.config import (
+    CpuConfig,
+    ExperimentConfig,
+    HostConfig,
+    SimConfig,
+    SwiftConfig,
+    WorkloadConfig,
+)
+from repro.core.experiment import run_experiment
+from repro.net.packet import Ack
+from repro.sim import Simulator
+from repro.transport.base import Connection
+from repro.transport.swift import SwiftCC
+
+
+class TestBacklogConnection:
+    def make(self, initial_cwnd=4.0):
+        sim = Simulator()
+        sent = []
+        conn = Connection(
+            sim, flow_id=0, sender_id=0, thread_id=0,
+            cc=SwiftCC(SwiftConfig(), initial_cwnd=initial_cwnd),
+            send=sent.append, payload_bytes=4096, wire_bytes=4452,
+            always_backlogged=False)
+        return sim, conn, sent
+
+    def test_no_data_no_sends(self):
+        sim, conn, sent = self.make()
+        sim.run(until=1e-3)
+        assert sent == []
+
+    def test_backlog_drives_sends(self):
+        sim, conn, sent = self.make()
+        conn.add_backlog(3)
+        sim.run(until=1e-4)
+        assert len(sent) == 3
+        assert conn.backlog_packets == 0
+
+    def test_backlog_beyond_window_waits_for_acks(self):
+        sim, conn, sent = self.make()
+        conn.add_backlog(10)  # window is 4
+        sim.run(until=1e-4)
+        assert len(sent) == 4
+        # Ack everything outstanding, round by round, until the whole
+        # backlog has been transmitted.
+        acked = set()
+        for _ in range(5):
+            for pkt in list(sent):
+                if pkt.seq not in acked:
+                    acked.add(pkt.seq)
+                    sim.call(1e-6, conn.on_ack,
+                             Ack(0, pkt.seq, pkt.sent_time, 1e-6))
+            sim.run(until=sim.now + 1e-4)
+        assert len(sent) == 10
+        assert conn.backlog_packets == 0
+
+    def test_invalid_backlog_rejected(self):
+        _, conn, _ = self.make()
+        with pytest.raises(ValueError):
+            conn.add_backlog(0)
+
+    def test_retransmissions_do_not_consume_backlog(self):
+        sim, conn, sent = self.make(initial_cwnd=8.0)
+        conn.add_backlog(8)
+        sim.run(until=1e-4)
+        # Ack in a gap pattern to force a fast retransmit of seq 0.
+        for pkt in sent[1:5]:
+            sim.call(10e-6, conn.on_ack,
+                     Ack(0, pkt.seq, pkt.sent_time, 1e-6))
+        sim.run(until=1e-3)
+        fresh = [p for p in sent if not p.is_retransmission]
+        retx = [p for p in sent if p.is_retransmission]
+        assert len(fresh) == 8  # exactly the backlog
+        assert len(retx) >= 1
+
+
+class TestOpenLoopWorkload:
+    def run_at(self, load, seed=2):
+        config = ExperimentConfig(
+            host=HostConfig(cpu=CpuConfig(cores=12)),
+            workload=WorkloadConfig(offered_load=load),
+            sim=SimConfig(warmup=2e-3, duration=4e-3, seed=seed))
+        return run_experiment(config)
+
+    def test_throughput_tracks_offered_load(self):
+        # offered_load is in payload terms: 0.4 × 100 Gbps = 40 Gbps.
+        result = self.run_at(0.4)
+        assert result.metrics["app_throughput_gbps"] == pytest.approx(
+            40.0, rel=0.1)
+        assert result.metrics["drop_rate"] < 0.001
+
+    def test_underload_has_low_latency(self):
+        result = self.run_at(0.25)
+        # Uncongested reads complete in ~tens of microseconds.
+        assert result.message_latency_us["p50"] < 200
+
+    def test_offered_load_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(offered_load=0.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(offered_load=5.0)
+        WorkloadConfig(offered_load=None)
+        WorkloadConfig(offered_load=1.5)

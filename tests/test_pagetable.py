@@ -1,0 +1,105 @@
+"""Unit tests for the IOMMU page table and walk-cost model."""
+
+import pytest
+
+from repro.host.addressing import PAGE_2M, PAGE_4K, Region
+from repro.host.pagetable import PageTable, TranslationFault
+
+
+def region_4k(n_pages=4, base=0):
+    return Region(base=base, size=n_pages * PAGE_4K, page_size=PAGE_4K)
+
+
+def region_2m(n_pages=2, base=1 << 31):
+    return Region(base=base, size=n_pages * PAGE_2M, page_size=PAGE_2M)
+
+
+def test_register_and_count_entries():
+    table = PageTable()
+    table.register_region(region_4k(4))
+    assert table.entry_count == 4
+    table.register_region(region_2m(2))
+    assert table.entry_count == 6
+
+
+def test_unregister_removes_entries():
+    table = PageTable()
+    region = region_4k(4)
+    table.register_region(region)
+    table.unregister_region(region)
+    assert table.entry_count == 0
+
+
+def test_walk_unmapped_page_faults():
+    table = PageTable()
+    with pytest.raises(TranslationFault):
+        table.walk(0xdead000)
+
+
+def test_page_size_of_mapped_pages():
+    table = PageTable()
+    table.register_region(region_4k(1, base=0))
+    table.register_region(region_2m(1))
+    assert table.page_size_of(0) == PAGE_4K
+    assert table.page_size_of(1 << 31) == PAGE_2M
+
+
+def test_first_walk_costs_multiple_accesses():
+    # Cold walk caches: the leaf plus every upper level misses.
+    table = PageTable(walk_cache_entries=8)
+    table.register_region(region_4k(1))
+    assert table.walk(0) == 4  # leaf + PD + PDPT + PML4
+
+
+def test_repeat_walk_costs_one_access():
+    table = PageTable(walk_cache_entries=8)
+    table.register_region(region_4k(1))
+    table.walk(0)
+    assert table.walk(0) == 1  # upper levels cached
+
+
+def test_hugepage_walk_is_shorter():
+    table = PageTable(walk_cache_entries=8)
+    table.register_region(region_2m(1))
+    assert table.walk(1 << 31) == 3  # leaf(PD) + PDPT + PML4
+
+
+def test_neighbouring_pages_share_upper_levels():
+    table = PageTable(walk_cache_entries=8)
+    table.register_region(region_4k(2))
+    table.walk(0)
+    # Second page shares PD/PDPT/PML4 entries with the first.
+    assert table.walk(PAGE_4K) == 1
+
+
+def test_zero_walk_cache_always_pays_full_walk():
+    table = PageTable(walk_cache_entries=0)
+    table.register_region(region_4k(1))
+    table.walk(0)
+    assert table.walk(0) == 4
+
+
+def test_walk_cache_capacity_evicts():
+    table = PageTable(walk_cache_entries=1)
+    # Two regions far apart: distinct PD entries compete for 1 slot.
+    a = region_4k(1, base=0)
+    b = region_4k(1, base=1 << 30)  # different PD and PDPT index
+    table.register_region(a)
+    table.register_region(b)
+    table.walk(0)
+    table.walk(1 << 30)     # evicts a's upper entries
+    assert table.walk(0) > 1
+
+
+def test_mean_walk_accesses_statistic():
+    table = PageTable(walk_cache_entries=8)
+    table.register_region(region_4k(1))
+    assert table.mean_walk_accesses() == 0.0
+    table.walk(0)
+    table.walk(0)
+    assert table.mean_walk_accesses() == pytest.approx((4 + 1) / 2)
+
+
+def test_negative_walk_cache_rejected():
+    with pytest.raises(ValueError):
+        PageTable(walk_cache_entries=-1)

@@ -1,0 +1,138 @@
+"""End-to-end tests of the paper's central claims, at reduced scale.
+
+These are the repository's acceptance tests: each asserts one
+qualitative claim from the paper using short measurement windows
+(the full-scale versions live in ``benchmarks/``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import (
+    CpuConfig,
+    ExperimentConfig,
+    HostConfig,
+    IommuConfig,
+    SimConfig,
+)
+from repro.core.experiment import run_experiment
+
+
+def config(cores=12, iommu=True, antagonists=0, hugepages=True,
+           transport="swift", seed=1, **exp_kwargs):
+    return ExperimentConfig(
+        host=HostConfig(
+            cpu=CpuConfig(cores=cores),
+            iommu=IommuConfig(enabled=iommu),
+            hugepages=hugepages,
+            antagonist_cores=antagonists,
+        ),
+        transport=transport,
+        sim=SimConfig(warmup=3e-3, duration=5e-3, seed=seed),
+        **exp_kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run the operating points once; individual tests read from here."""
+    points = {
+        "on_12": config(cores=12, iommu=True),
+        "off_12": config(cores=12, iommu=False),
+        "on_16": config(cores=16, iommu=True),
+        "off_16": config(cores=16, iommu=False),
+        "on_6": config(cores=6, iommu=True),
+        "nohp_12": config(cores=12, iommu=True, hugepages=False),
+        "ant15_off": config(cores=12, iommu=False, antagonists=15),
+        "ant15_on": config(cores=12, iommu=True, antagonists=15),
+        "hostcc_12": config(cores=12, iommu=True, transport="hostcc"),
+    }
+    return {name: run_experiment(c) for name, c in points.items()}
+
+
+class TestIommuClaims:
+    def test_iommu_off_reaches_max_achievable(self, results):
+        assert results["off_12"].metrics["app_throughput_gbps"] > 88
+
+    def test_iommu_tax_grows_with_cores(self, results):
+        on_12 = results["on_12"].metrics["app_throughput_gbps"]
+        on_16 = results["on_16"].metrics["app_throughput_gbps"]
+        off_16 = results["off_16"].metrics["app_throughput_gbps"]
+        assert on_16 < on_12          # more cores, less throughput
+        assert on_16 < 0.9 * off_16   # ≥10% below the no-IOMMU case
+
+    def test_no_misses_below_iotlb_capacity(self, results):
+        assert results["on_6"].metrics["iotlb_misses_per_packet"] < 0.2
+
+    def test_misses_beyond_capacity(self, results):
+        assert results["on_12"].metrics["iotlb_misses_per_packet"] > 0.5
+        assert (results["on_16"].metrics["iotlb_misses_per_packet"]
+                > results["on_12"].metrics["iotlb_misses_per_packet"])
+
+    def test_hugepages_off_much_worse(self, results):
+        assert (results["nohp_12"].metrics["app_throughput_gbps"]
+                < 0.8 * results["on_12"].metrics["app_throughput_gbps"])
+        assert (results["nohp_12"].metrics["iotlb_misses_per_packet"]
+                > 2.0)
+
+
+class TestBlindSpotClaims:
+    def test_swift_drops_despite_host_delay_target(self, results):
+        # The paper's central claim: ≥2% steady drops with a
+        # delay-based CC designed to handle host congestion.
+        assert results["on_12"].metrics["drop_rate"] > 0.015
+
+    def test_nic_delay_pinned_below_host_target(self, results):
+        # The buffer can't hold 100 µs at this drain rate: delay sits
+        # just below the target and Swift never engages.
+        delay = results["on_12"].metrics["mean_nic_delay_us"]
+        assert 60 < delay < 105
+
+    def test_no_drops_when_cpu_is_the_bottleneck(self, results):
+        # Host-software congestion (too few cores) is handled fine —
+        # the paper's contrast between software and interconnect
+        # congestion.
+        assert results["on_6"].metrics["drop_rate"] < 0.002
+
+    def test_host_signal_cc_removes_drops(self, results):
+        swift_drop = results["on_12"].metrics["drop_rate"]
+        hostcc_drop = results["hostcc_12"].metrics["drop_rate"]
+        assert hostcc_drop < 0.3 * swift_drop
+        assert (results["hostcc_12"].metrics["app_throughput_gbps"]
+                > 0.8 * results["on_12"].metrics["app_throughput_gbps"])
+
+
+class TestMemoryBusClaims:
+    def test_antagonist_degrades_iommu_off(self, results):
+        clean = results["off_12"].metrics["app_throughput_gbps"]
+        antagonized = results["ant15_off"].metrics["app_throughput_gbps"]
+        assert antagonized < 0.95 * clean
+
+    def test_drops_at_low_link_utilization(self, results):
+        # Fig. 1's second observation: host drops while the access
+        # link has substantial headroom (compound IOMMU + antagonist
+        # case: drain collapses well below line rate, drops persist).
+        m = results["ant15_on"].metrics
+        assert m["link_utilization"] < 0.8
+        assert m["drop_rate"] > 0.001
+
+    def test_compound_iommu_plus_memory_contention(self, results):
+        assert (results["ant15_on"].metrics["app_throughput_gbps"]
+                < results["ant15_off"].metrics["app_throughput_gbps"] - 10)
+
+    def test_memory_bandwidth_saturates(self, results):
+        assert 80 < results["ant15_on"].metrics["memory_total_GBps"] < 95
+
+
+class TestLittlesLawModel:
+    def test_model_tracks_measured_interconnect_bound(self, results):
+        from repro.core.model import ThroughputModel
+
+        result = results["on_16"]
+        model = ThroughputModel(config(cores=16))
+        bound = model.predict(
+            misses_per_packet=result.metrics["iotlb_misses_per_packet"],
+            memory_utilization=result.metrics["memory_utilization"])
+        measured = result.metrics["app_throughput_gbps"] * 1e9
+        assert abs(bound - measured) / measured < 0.15

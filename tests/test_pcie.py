@@ -1,0 +1,80 @@
+"""Unit tests for the PCIe link model."""
+
+import pytest
+
+from repro.core.config import PcieConfig
+from repro.host.pcie import PcieLink
+from repro.sim import Simulator
+
+
+def make_link(**overrides):
+    sim = Simulator()
+    return sim, PcieLink(sim, PcieConfig(**overrides))
+
+
+def test_transfer_time_at_goodput():
+    _, link = make_link(goodput_bps=110e9)
+    assert link.transfer_time(4452) == pytest.approx(4452 * 8 / 110e9)
+
+
+def test_occupy_idle_link_is_pure_serialization():
+    _, link = make_link()
+    delay = link.occupy(4096)
+    assert delay == pytest.approx(link.transfer_time(4096))
+
+
+def test_occupy_busy_link_queues():
+    _, link = make_link()
+    first = link.occupy(4096)
+    second = link.occupy(4096)
+    assert second == pytest.approx(first + link.transfer_time(4096))
+
+
+def test_occupancy_drains_over_time():
+    sim, link = make_link()
+    link.occupy(4096)
+    sim.run(until=1e-3)  # long after the transfer finished
+    delay = link.occupy(4096)
+    assert delay == pytest.approx(link.transfer_time(4096))
+
+
+def test_zero_bytes_rejected():
+    _, link = make_link()
+    with pytest.raises(ValueError):
+        link.occupy(0)
+
+
+def test_utilization_accounting():
+    sim, link = make_link(goodput_bps=100e9)
+    # 10 transfers of 12500 bytes = 1e-5 s of busy time.
+    for _ in range(10):
+        link.occupy(12500)
+    sim.run(until=1e-4)
+    assert link.utilization(1e-4) == pytest.approx(0.1)
+
+
+def test_sustained_throughput_capped_at_goodput():
+    sim, link = make_link(goodput_bps=110e9)
+    n, size = 1000, 4452
+    for _ in range(n):
+        link.occupy(size)
+    # The last transfer ends at n*tx: rate == goodput.
+    total_time = link._busy_until
+    assert n * size * 8 / total_time == pytest.approx(110e9)
+
+
+def test_reset_accounting():
+    sim, link = make_link()
+    link.occupy(4096)
+    link.reset_accounting()
+    assert link.bytes_transferred == 0
+    assert link.utilization(1e-3) == 0.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PcieConfig(goodput_bps=200e9, raw_bps=128e9)
+    with pytest.raises(ValueError):
+        PcieConfig(max_inflight_bytes=100)
+    with pytest.raises(ValueError):
+        PcieConfig(dma_fixed_latency=-1e-6)

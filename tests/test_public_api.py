@@ -1,0 +1,54 @@
+"""Public-API surface checks: everything advertised is importable."""
+
+import importlib
+import pathlib
+
+import pytest
+
+import repro
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize("name", repro.__all__)
+def test_top_level_exports_resolve(name):
+    assert getattr(repro, name) is not None
+
+
+@pytest.mark.parametrize("module", [
+    "repro.sim",
+    "repro.host",
+    "repro.net",
+    "repro.transport",
+    "repro.workload",
+    "repro.core",
+    "repro.analysis",
+    "repro.cli",
+])
+def test_subpackage_all_exports_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert getattr(mod, name) is not None, f"{module}.{name}"
+
+
+def test_all_lists_are_sorted_and_unique():
+    for module in ("repro", "repro.sim", "repro.host", "repro.net",
+                   "repro.transport", "repro.workload", "repro.core",
+                   "repro.analysis"):
+        exported = importlib.import_module(module).__all__
+        assert len(exported) == len(set(exported)), module
+        assert list(exported) == sorted(exported), module
+
+
+def test_py_typed_marker_present():
+    marker = pathlib.Path(repro.__file__).parent / "py.typed"
+    assert marker.exists()
+
+
+def test_docstrings_on_public_modules():
+    for module in ("repro", "repro.sim.engine", "repro.host.nic",
+                   "repro.host.memory", "repro.transport.swift",
+                   "repro.core.model", "repro.analysis.figures"):
+        assert importlib.import_module(module).__doc__, module

@@ -1,0 +1,107 @@
+"""Unit tests for the receiver transport endpoint."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.transport.receiver import ReceiverEndpoint
+
+
+def processed_pkt(seq, flow=0, sent_time=0.0, done=100e-6):
+    p = Packet(flow_id=flow, seq=seq, payload_bytes=4096,
+               wire_bytes=4452, sent_time=sent_time, thread_id=0)
+    p.nic_arrival_time = done - 50e-6
+    p.cpu_done_time = done
+    return p
+
+
+def make_endpoint(packets_per_read=4, now=100e-6):
+    acks = []
+    clock = {"now": now}
+    endpoint = ReceiverEndpoint(
+        send_ack=lambda ack, thread: acks.append((ack, thread)),
+        packets_per_read=packets_per_read,
+        now=lambda: clock["now"])
+    return endpoint, acks, clock
+
+
+def test_ack_generated_per_packet_with_host_delay():
+    endpoint, acks, _ = make_endpoint()
+    endpoint.on_packet(processed_pkt(0))
+    assert len(acks) == 1
+    ack, thread = acks[0]
+    assert ack.seq == 0
+    assert ack.host_delay == pytest.approx(50e-6)
+    assert thread == 0
+
+
+def test_ecn_echoed():
+    endpoint, acks, _ = make_endpoint()
+    p = processed_pkt(0)
+    p.ecn_marked = True
+    endpoint.on_packet(p)
+    assert acks[0][0].ecn_echo
+
+
+def test_message_completion_counts_full_reads():
+    endpoint, _, clock = make_endpoint(packets_per_read=4)
+    for seq in range(4):
+        endpoint.on_packet(processed_pkt(seq, sent_time=10e-6))
+    assert endpoint.messages_completed() == 1
+    latencies = endpoint.all_message_latencies()
+    assert len(latencies) == 1
+    assert latencies[0] == pytest.approx(100e-6 - 10e-6)
+
+
+def test_incomplete_read_not_counted():
+    endpoint, _, _ = make_endpoint(packets_per_read=4)
+    for seq in (0, 1, 2):
+        endpoint.on_packet(processed_pkt(seq))
+    assert endpoint.messages_completed() == 0
+
+
+def test_out_of_order_read_still_completes():
+    endpoint, _, _ = make_endpoint(packets_per_read=4)
+    for seq in (3, 0, 2, 1):
+        endpoint.on_packet(processed_pkt(seq))
+    assert endpoint.messages_completed() == 1
+
+
+def test_read_latency_uses_earliest_send_time():
+    endpoint, _, _ = make_endpoint(packets_per_read=2)
+    endpoint.on_packet(processed_pkt(1, sent_time=30e-6))
+    endpoint.on_packet(processed_pkt(0, sent_time=10e-6))
+    (latency,) = endpoint.all_message_latencies()
+    assert latency == pytest.approx(90e-6)
+
+
+def test_duplicates_acked_but_not_double_counted():
+    endpoint, acks, _ = make_endpoint(packets_per_read=2)
+    endpoint.on_packet(processed_pkt(0))
+    endpoint.on_packet(processed_pkt(0))  # retransmission duplicate
+    endpoint.on_packet(processed_pkt(1))
+    assert len(acks) == 3  # every packet acked (sender needs it)
+    assert endpoint.duplicates == 1
+    assert endpoint.messages_completed() == 1
+
+
+def test_flows_tracked_independently():
+    endpoint, _, _ = make_endpoint(packets_per_read=2)
+    endpoint.on_packet(processed_pkt(0, flow=1))
+    endpoint.on_packet(processed_pkt(0, flow=2))
+    endpoint.on_packet(processed_pkt(1, flow=1))
+    assert endpoint.messages_completed() == 1
+
+
+def test_reset_stats_clears_window():
+    endpoint, _, _ = make_endpoint(packets_per_read=1)
+    endpoint.on_packet(processed_pkt(0))
+    endpoint.reset_stats()
+    assert endpoint.messages_completed() == 0
+    assert endpoint.packets_received == 0
+    assert endpoint.all_message_latencies() == []
+
+
+def test_bad_packets_per_read_rejected():
+    with pytest.raises(ValueError):
+        ReceiverEndpoint(send_ack=lambda a, t: None,
+                         packets_per_read=0, now=lambda: 0.0)

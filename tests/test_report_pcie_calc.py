@@ -1,0 +1,100 @@
+"""Tests for the markdown report generator and the PCIe goodput
+calculator."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import load_results, render_report, write_report
+from repro.host.pcie import pcie_goodput_bps, pcie_raw_bps
+
+
+def sample_payload(name="figure3", passed=True):
+    return {
+        "name": name,
+        "title": "a title",
+        "elapsed_s": 12.3,
+        "notes": {"hosts": 10} if name == "figure1" else {},
+        "panels": {
+            "throughput": {
+                "x_label": "cores",
+                "y_label": "Gbps",
+                "series": [
+                    {"label": "ON", "x": [2, 4], "y": [20.0, 40.0]},
+                    {"label": "OFF", "x": [2, 4], "y": [22.0, 44.0]},
+                ],
+            }
+        },
+        "findings": [
+            {"criterion": "some claim", "passed": passed,
+             "detail": "detail text"},
+        ],
+    }
+
+
+class TestReport:
+    def test_load_results_requires_files(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path)
+
+    def test_load_results_ordered(self, tmp_path):
+        for name in ("figure5", "figure3"):
+            (tmp_path / f"{name}.json").write_text(
+                json.dumps(sample_payload(name)))
+        results = load_results(tmp_path)
+        assert list(results) == ["figure3", "figure5"]
+
+    def test_render_contains_findings_and_tables(self):
+        text = render_report({"figure3": sample_payload()})
+        assert "Shape criteria passing: **1/1**" in text
+        assert "[PASS]" in text
+        assert "| cores | ON | OFF |" in text
+        assert "| 2 | 20 | 22 |" in text
+
+    def test_render_counts_failures(self):
+        text = render_report(
+            {"figure3": sample_payload(passed=False)})
+        assert "**0/1**" in text
+        assert "[FAIL]" in text
+
+    def test_write_report(self, tmp_path):
+        (tmp_path / "figure3.json").write_text(
+            json.dumps(sample_payload()))
+        path = write_report(tmp_path)
+        assert path.name == "REPORT.md"
+        assert "figure3" in path.read_text()
+
+
+class TestPcieCalculator:
+    def test_gen3_x16_matches_the_papers_numbers(self):
+        # Paper: "maximum 128Gbps theoretical capacity", "achievable
+        # PCIe goodput is only ~110Gbps".
+        assert pcie_raw_bps(3, 16) == pytest.approx(126e9, rel=0.02)
+        assert pcie_goodput_bps(3, 16, 256) == pytest.approx(
+            110e9, rel=0.02)
+
+    def test_generation_scaling(self):
+        assert pcie_goodput_bps(4, 16) == pytest.approx(
+            2 * pcie_goodput_bps(3, 16))
+        assert pcie_goodput_bps(5, 16) == pytest.approx(
+            4 * pcie_goodput_bps(3, 16))
+
+    def test_lane_scaling(self):
+        assert pcie_goodput_bps(3, 8) == pytest.approx(
+            pcie_goodput_bps(3, 16) / 2)
+
+    def test_larger_tlp_payload_improves_efficiency(self):
+        assert pcie_goodput_bps(3, 16, 512) > pcie_goodput_bps(3, 16, 256)
+
+    def test_gen12_coding_penalty(self):
+        # 8b/10b coding: 20% off the wire rate.
+        assert pcie_raw_bps(1, 16) == pytest.approx(
+            2.5e9 * 0.8 * 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pcie_raw_bps(gen=7)
+        with pytest.raises(ValueError):
+            pcie_raw_bps(lanes=3)
+        with pytest.raises(ValueError):
+            pcie_goodput_bps(max_payload=0)

@@ -1,0 +1,60 @@
+"""Tests for the model sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import Elasticity, sensitivity_analysis
+from repro.core.config import CpuConfig, ExperimentConfig, HostConfig
+
+
+def config(cores=16):
+    return ExperimentConfig(host=HostConfig(cpu=CpuConfig(cores=cores)))
+
+
+def by_name(elasticities):
+    return {e.parameter: e for e in elasticities}
+
+
+class TestSensitivity:
+    def test_interconnect_bound_point_responds_to_credits(self):
+        # At high miss rates the credit window is the binding term.
+        result = by_name(sensitivity_analysis(config(), 3.0))
+        assert result["pcie_credits"].elasticity > 0.5
+        assert result["walk_latency"].elasticity < -0.2
+        assert result["dma_fixed_latency"].elasticity < 0
+
+    def test_cpu_bound_point_only_cares_about_cores(self):
+        result = by_name(sensitivity_analysis(config(cores=4), 0.0))
+        assert result["core_rate"].elasticity == pytest.approx(1.0,
+                                                               abs=0.05)
+        assert result["pcie_credits"].elasticity == pytest.approx(
+            0.0, abs=0.01)
+
+    def test_line_rate_bound_point_is_insensitive(self):
+        # 12 cores, no misses: the access link is the binding bound.
+        result = by_name(sensitivity_analysis(config(cores=12), 0.0))
+        for name in ("pcie_credits", "walk_latency", "core_rate"):
+            assert abs(result[name].elasticity) < 0.05, name
+
+    def test_sorted_by_magnitude(self):
+        result = sensitivity_analysis(config(), 3.0)
+        magnitudes = [abs(e.elasticity) for e in result]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_subset_of_parameters(self):
+        result = sensitivity_analysis(config(), 2.0,
+                                      parameters=["walk_latency"])
+        assert len(result) == 1
+        assert result[0].parameter == "walk_latency"
+
+    def test_str_rendering(self):
+        (e,) = sensitivity_analysis(config(), 2.0,
+                                    parameters=["pcie_credits"])
+        assert "pcie_credits" in str(e)
+        assert isinstance(e, Elasticity)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sensitivity_analysis(config(), 2.0, step=0.0)
+        with pytest.raises(ValueError):
+            sensitivity_analysis(config(), 2.0,
+                                 parameters=["not_a_knob"])

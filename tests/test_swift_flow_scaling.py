@@ -1,0 +1,101 @@
+"""Focused tests on Swift's stability machinery (flow scaling, hold
+band) — the pieces that keep 480-640 incast flows from oscillating."""
+
+import pytest
+
+from repro.core.config import SwiftConfig
+from repro.net.packet import Ack
+from repro.transport.swift import SwiftCC
+
+
+def ack(host_delay=1e-6):
+    return Ack(flow_id=0, seq=0, sent_time_echo=0.0,
+               host_delay=host_delay)
+
+
+class TestFlowScaling:
+    def test_target_monotone_decreasing_in_cwnd(self):
+        cfg = SwiftConfig()
+        targets = []
+        for cwnd in (0.05, 0.2, 1.0, 4.0, 64.0):
+            cc = SwiftCC(cfg, initial_cwnd=cwnd)
+            targets.append(cc.fabric_target())
+        assert targets == sorted(targets, reverse=True)
+
+    def test_target_capped(self):
+        cfg = SwiftConfig(flow_scaling_max=50e-6)
+        cc = SwiftCC(cfg, initial_cwnd=cfg.min_cwnd)
+        assert cc.fabric_target() <= cfg.fabric_target + 50e-6
+
+    def test_zero_alpha_disables_scaling(self):
+        cfg = SwiftConfig(flow_scaling_alpha=0.0)
+        small = SwiftCC(cfg, initial_cwnd=0.05)
+        big = SwiftCC(cfg, initial_cwnd=64.0)
+        assert small.fabric_target() == big.fabric_target()
+
+    def test_small_flow_tolerates_delay_a_large_flow_cuts_on(self):
+        cfg = SwiftConfig()
+        small = SwiftCC(cfg, initial_cwnd=0.05)
+        big = SwiftCC(cfg, initial_cwnd=64.0)
+        # A fabric delay between the two effective targets.
+        delay = (small.fabric_target() + big.fabric_target()) / 2
+        small_before, big_before = small.cwnd(), big.cwnd()
+        small.on_ack(delay + 1e-6, ack(), now=1e-3)
+        big.on_ack(delay + 1e-6, ack(), now=1e-3)
+        assert small.cwnd() >= small_before   # under its scaled target
+        assert big.cwnd() < big_before        # over its target: cuts
+
+
+class TestHoldBandAsymmetry:
+    def test_host_loop_increases_up_to_target(self):
+        # 0.95 of the HOST target: must still increase (the blind
+        # spot); the hold band applies only to the fabric loop.
+        cfg = SwiftConfig(flow_scaling_alpha=0.0)
+        cc = SwiftCC(cfg, initial_cwnd=2.0)
+        before = cc.cwnd()
+        cc.on_ack(0.95 * cfg.host_target + 1e-6,
+                  ack(host_delay=0.95 * cfg.host_target), now=1e-3)
+        assert cc.cwnd() > before
+
+    def test_fabric_loop_holds_in_band(self):
+        cfg = SwiftConfig(flow_scaling_alpha=0.0, hold_threshold=0.85)
+        cc = SwiftCC(cfg, initial_cwnd=2.0)
+        before = cc.cwnd()
+        fabric_delay = 0.9 * cfg.fabric_target
+        cc.on_ack(fabric_delay + 1e-6, ack(host_delay=1e-6), now=1e-3)
+        assert cc.cwnd() == before
+
+    def test_fabric_loop_increases_below_band(self):
+        cfg = SwiftConfig(flow_scaling_alpha=0.0, hold_threshold=0.85)
+        cc = SwiftCC(cfg, initial_cwnd=2.0)
+        before = cc.cwnd()
+        fabric_delay = 0.5 * cfg.fabric_target
+        cc.on_ack(fabric_delay + 1e-6, ack(host_delay=1e-6), now=1e-3)
+        assert cc.cwnd() > before
+
+
+class TestDecreaseProportionality:
+    @pytest.mark.parametrize("excess_factor,expected_smaller", [
+        (1.2, False),
+        (3.0, True),
+    ])
+    def test_bigger_excess_bigger_cut(self, excess_factor,
+                                      expected_smaller):
+        cfg = SwiftConfig(flow_scaling_alpha=0.0)
+        mild = SwiftCC(cfg, initial_cwnd=8.0)
+        mild.on_ack(1e-6 + 1.2 * cfg.host_target,
+                    ack(host_delay=1.2 * cfg.host_target), now=1e-3)
+        harsh = SwiftCC(cfg, initial_cwnd=8.0)
+        harsh.on_ack(1e-6 + excess_factor * cfg.host_target,
+                     ack(host_delay=excess_factor * cfg.host_target),
+                     now=1e-3)
+        if expected_smaller:
+            assert harsh.cwnd() < mild.cwnd()
+        else:
+            assert harsh.cwnd() == pytest.approx(mild.cwnd())
+
+    def test_decrease_floor_is_max_mdf(self):
+        cfg = SwiftConfig(max_mdf=0.5, flow_scaling_alpha=0.0)
+        cc = SwiftCC(cfg, initial_cwnd=8.0)
+        cc.on_ack(1.0, ack(host_delay=1.0), now=1e-3)  # absurd delay
+        assert cc.cwnd() == pytest.approx(4.0)

@@ -1,0 +1,100 @@
+"""Unit tests for the TIMELY congestion-control baseline."""
+
+import pytest
+
+from repro.core.config import SwiftConfig
+from repro.net.packet import Ack
+from repro.transport.timely import TimelyCC
+
+
+def ack():
+    return Ack(flow_id=0, seq=0, sent_time_echo=0.0, host_delay=0.0)
+
+
+def make():
+    return TimelyCC(SwiftConfig(), initial_cwnd=4.0)
+
+
+def test_first_sample_only_primes_filter():
+    cc = make()
+    before = cc.cwnd()
+    cc.on_ack(30e-6, ack(), now=1e-4)
+    assert cc.cwnd() == before
+
+
+def test_low_rtt_guard_increases():
+    cc = make()
+    cc.on_ack(30e-6, ack(), now=1e-4)
+    before = cc.cwnd()
+    cc.on_ack(30e-6, ack(), now=2e-4)  # below T_LOW: always increase
+    assert cc.cwnd() > before
+
+
+def test_high_rtt_guard_decreases():
+    cc = make()
+    cc.on_ack(30e-6, ack(), now=1e-4)
+    before = cc.cwnd()
+    cc.on_ack(2e-3, ack(), now=2e-4)  # above T_HIGH
+    assert cc.cwnd() < before
+
+
+def test_negative_gradient_increases():
+    cc = make()
+    # Decreasing RTT samples within [T_LOW, T_HIGH].
+    for i, rtt in enumerate((300e-6, 280e-6, 260e-6, 240e-6)):
+        cc.on_ack(rtt, ack(), now=(i + 1) * 1e-4)
+    assert cc.cwnd() > 4.0
+
+
+def test_positive_gradient_decreases():
+    cc = make()
+    for i, rtt in enumerate((100e-6, 200e-6, 300e-6, 400e-6)):
+        cc.on_ack(rtt, ack(), now=(i + 1) * 1e-3)
+    assert cc.cwnd() < 4.0
+
+
+def test_hyperactive_increase_after_streak():
+    cc = make()
+    cc.on_ack(200e-6, ack(), now=0.0)
+    # Long negative-gradient streak triggers HAI (bigger steps).
+    gains = []
+    rtt = 400e-6
+    for i in range(8):
+        before = cc.cwnd()
+        rtt -= 10e-6
+        cc.on_ack(rtt, ack(), now=(i + 1) * 1e-4)
+        gains.append(cc.cwnd() - before)
+    assert gains[-1] > gains[0]
+
+
+def test_loss_and_timeout_handling():
+    cfg = SwiftConfig()
+    cc = TimelyCC(cfg, initial_cwnd=8.0)
+    cc.on_loss(now=1e-3)
+    assert cc.cwnd() == pytest.approx(8.0 * (1 - cfg.max_mdf))
+    cc.on_timeout(now=2e-3)
+    assert cc.cwnd() == cfg.min_cwnd
+
+
+def test_cwnd_clamped():
+    cfg = SwiftConfig(min_cwnd=0.5, max_cwnd=6.0)
+    cc = TimelyCC(cfg, initial_cwnd=100.0)
+    assert cc.cwnd() == 6.0
+
+
+def test_timely_selectable_in_experiment():
+    from repro.core.config import (
+        CpuConfig,
+        ExperimentConfig,
+        HostConfig,
+        SimConfig,
+        WorkloadConfig,
+    )
+    from repro.core.experiment import run_experiment
+
+    result = run_experiment(ExperimentConfig(
+        host=HostConfig(cpu=CpuConfig(cores=4)),
+        workload=WorkloadConfig(senders=8),
+        transport="timely",
+        sim=SimConfig(warmup=1e-3, duration=2e-3, seed=1)))
+    assert result.metrics["app_throughput_gbps"] > 5

@@ -1,0 +1,128 @@
+"""Unit tests for the sender connection state machine."""
+
+import pytest
+
+from repro.core.config import SwiftConfig
+from repro.net.packet import Ack
+from repro.sim import Simulator
+from repro.transport.base import Connection
+from repro.transport.swift import SwiftCC
+
+
+def make_conn(initial_cwnd=2.0, rto=1e-3, config=None):
+    sim = Simulator()
+    sent = []
+    cc = SwiftCC(config or SwiftConfig(), initial_cwnd=initial_cwnd)
+    conn = Connection(
+        sim, flow_id=0, sender_id=0, thread_id=0, cc=cc,
+        send=sent.append, payload_bytes=4096, wire_bytes=4452, rto=rto)
+    return sim, conn, sent, cc
+
+
+def ack_for(pkt, host_delay=5e-6):
+    return Ack(flow_id=pkt.flow_id, seq=pkt.seq,
+               sent_time_echo=pkt.sent_time, host_delay=host_delay)
+
+
+def test_initial_window_sends_immediately():
+    sim, conn, sent, _ = make_conn(initial_cwnd=2.0)
+    sim.run(until=1e-6)
+    assert len(sent) == 2
+    assert [p.seq for p in sent] == [0, 1]
+    assert conn.inflight_count == 2
+
+
+def test_ack_releases_window_for_next_packet():
+    sim, conn, sent, _ = make_conn(initial_cwnd=1.0)
+    sim.run(until=1e-6)
+    assert len(sent) == 1
+    sim.call(20e-6, conn.on_ack, ack_for(sent[0]))
+    sim.run(until=30e-6)
+    assert len(sent) >= 2
+    assert conn.acks_received == 1
+
+
+def test_sub_packet_window_paces():
+    # cwnd 0.5: one packet per 2*srtt.
+    sim, conn, sent, cc = make_conn(initial_cwnd=0.5)
+    sim.run(until=1e-6)
+    assert len(sent) == 1
+    sim.call(5e-6, conn.on_ack, ack_for(sent[0]))
+    sim.run(until=10e-6)
+    assert len(sent) == 1  # pacing gap not yet elapsed
+    sim.run(until=200e-6)
+    assert len(sent) >= 2
+
+
+def test_reorder_loss_detection_triggers_retransmit():
+    sim, conn, sent, cc = make_conn(initial_cwnd=8.0)
+    sim.run(until=1e-6)
+    assert len(sent) == 8
+    lost = sent[0]
+    # Ack packets 1..4 (tx order after the lost one).
+    for pkt in sent[1:5]:
+        sim.call(20e-6, conn.on_ack, ack_for(pkt))
+    sim.run(until=100e-6)
+    retx = [p for p in sent if p.is_retransmission]
+    assert len(retx) == 1
+    assert retx[0].seq == lost.seq
+    assert conn.losses_detected == 1
+
+
+def test_loss_notifies_cc():
+    sim, conn, sent, cc = make_conn(initial_cwnd=8.0)
+    sim.run(until=1e-6)
+    before = cc.cwnd()
+    for pkt in sent[1:5]:
+        sim.call(20e-6, conn.on_ack, ack_for(pkt))
+    sim.run(until=100e-6)
+    assert cc.cwnd() < before + 1  # a cut happened despite AI on acks
+
+
+def test_rto_retransmits_oldest():
+    sim, conn, sent, cc = make_conn(initial_cwnd=1.0, rto=200e-6)
+    sim.run(until=1e-6)
+    assert len(sent) == 1
+    # Never ack: RTO fires and the packet is retransmitted.
+    sim.run(until=1e-3)
+    retx = [p for p in sent if p.is_retransmission]
+    assert len(retx) >= 1
+    assert retx[0].seq == sent[0].seq
+    assert conn.timeouts >= 1
+    assert cc.cwnd() == SwiftConfig().min_cwnd
+
+
+def test_duplicate_ack_ignored():
+    sim, conn, sent, _ = make_conn(initial_cwnd=2.0)
+    sim.run(until=1e-6)
+    first = ack_for(sent[0])
+    sim.call(20e-6, conn.on_ack, first)
+    sim.call(21e-6, conn.on_ack, ack_for(sent[0]))
+    sim.run(until=50e-6)
+    assert conn.acks_received == 1
+
+
+def test_srtt_tracks_rtt_samples():
+    sim, conn, sent, _ = make_conn(initial_cwnd=1.0)
+    sim.run(until=1e-6)
+    sim.call(100e-6, conn.on_ack, ack_for(sent[0]))
+    sim.run(until=200e-6)
+    assert conn.srtt > 25e-6  # pulled toward the 100 µs sample
+
+
+def test_sequences_strictly_increasing_for_fresh_sends():
+    sim, conn, sent, _ = make_conn(initial_cwnd=4.0)
+    sim.run(until=1e-6)
+    for pkt in list(sent):
+        sim.call(20e-6, conn.on_ack, ack_for(pkt))
+    sim.run(until=100e-6)
+    fresh = [p.seq for p in sent if not p.is_retransmission]
+    assert fresh == sorted(fresh)
+    assert len(set(fresh)) == len(fresh)
+
+
+def test_stats_counters():
+    sim, conn, sent, _ = make_conn(initial_cwnd=2.0)
+    sim.run(until=1e-6)
+    assert conn.packets_sent == 2
+    assert conn.retransmissions == 0

@@ -1,0 +1,51 @@
+"""Tests for the model-vs-simulation validation module."""
+
+import pytest
+
+from repro.analysis.validation import (
+    ValidationPoint,
+    ValidationReport,
+    validate_model,
+)
+
+
+def point(measured, predicted, cores=12):
+    return ValidationPoint(
+        cores=cores, iommu=True, antagonist_cores=0,
+        measured_gbps=measured, predicted_gbps=predicted,
+        misses_per_packet=1.0)
+
+
+class TestValidationPoint:
+    def test_relative_error(self):
+        assert point(100, 110).relative_error == pytest.approx(0.1)
+        assert point(100, 90).relative_error == pytest.approx(0.1)
+
+    def test_zero_measured_is_infinite(self):
+        assert point(0, 10).relative_error == float("inf")
+
+
+class TestValidationReport:
+    def test_aggregates(self):
+        report = ValidationReport([point(100, 105), point(100, 120)])
+        assert report.mean_error == pytest.approx(0.125)
+        assert report.max_error == pytest.approx(0.2)
+        assert report.worst().predicted_gbps == 120
+
+    def test_render_contains_rows_and_summary(self):
+        report = ValidationReport([point(100, 105)])
+        text = report.render()
+        assert "measured" in text
+        assert "mean error" in text
+
+
+def test_validate_model_small_grid():
+    report = validate_model(
+        cores=(4, 12), iommu_states=(True,), antagonists=(0,),
+        warmup=1.5e-3, duration=3e-3)
+    assert len(report.points) == 2
+    # CPU-bound point: model and sim agree tightly.
+    cpu_bound = next(p for p in report.points if p.cores == 4)
+    assert cpu_bound.relative_error < 0.05
+    # Interconnect-bound point: within the documented budget.
+    assert report.max_error < 0.3
