@@ -35,6 +35,30 @@ def test_event_dispatch_throughput(benchmark):
     assert dispatched == 10_001
 
 
+def test_event_dispatch_throughput_profiled(benchmark):
+    """The same dispatch chain under SimProfiler — the gap to
+    ``test_event_dispatch_throughput`` is the profiler's overhead."""
+    from repro.obs.profiler import SimProfiler
+
+    def run_events():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining:
+                sim.call(1e-9, chain, remaining - 1)
+
+        sim.call(0.0, chain, 10_000)
+        with SimProfiler(sim) as profiler:
+            sim.run()
+        return profiler
+
+    profiler = benchmark(run_events)
+    report = profiler.report()
+    assert report["events"] == 10_001
+    benchmark.extra_info["profiled_events_per_sec"] = round(
+        report["events_per_sec"])
+
+
 def test_iotlb_access_throughput(benchmark):
     tlb = Iotlb(entries=128, ways=16)
     rng = random.Random(0)

@@ -9,9 +9,12 @@ runs everything.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 import pytest
+
+from repro.sim.engine import Simulator
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -20,6 +23,49 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 def output_dir() -> Path:
     OUTPUT_DIR.mkdir(exist_ok=True)
     return OUTPUT_DIR
+
+
+@pytest.fixture(autouse=True)
+def engine_stats(request):
+    """Account engine throughput for every bench in this directory.
+
+    Wraps ``Simulator.run`` for the duration of the test (restored on
+    teardown) and accumulates events dispatched, wall time inside the
+    loop, and simulated time advanced — across *all* simulators the
+    bench creates (figure sweeps build one per experiment).  The totals
+    land in ``benchmark.extra_info`` (``engine_events``,
+    ``engine_events_per_sec``, ``sim_wall_ratio``) so every saved
+    benchmark JSON carries the engine numbers alongside the timing.
+    """
+    stats = {"events": 0, "wall_s": 0.0, "sim_s": 0.0}
+    # Resolve the benchmark fixture up front: it is torn down before
+    # this autouse fixture, so it cannot be fetched during teardown.
+    bench = (request.getfixturevalue("benchmark")
+             if "benchmark" in request.fixturenames else None)
+    original_run = Simulator.run
+
+    def timed_run(self, until=None):
+        events_before = self.events_dispatched
+        now_before = self.now
+        t0 = time.perf_counter()
+        try:
+            return original_run(self, until)
+        finally:
+            stats["wall_s"] += time.perf_counter() - t0
+            stats["events"] += self.events_dispatched - events_before
+            stats["sim_s"] += self.now - now_before
+
+    Simulator.run = timed_run
+    try:
+        yield stats
+    finally:
+        Simulator.run = original_run
+        if bench is not None and stats["wall_s"] > 0:
+            bench.extra_info["engine_events"] = stats["events"]
+            bench.extra_info["engine_events_per_sec"] = round(
+                stats["events"] / stats["wall_s"])
+            bench.extra_info["sim_wall_ratio"] = round(
+                stats["sim_s"] / stats["wall_s"], 6)
 
 
 def run_figure_benchmark(benchmark, figure_fn, output_dir, **kwargs):

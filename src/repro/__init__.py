@@ -45,6 +45,7 @@ from repro.core.sweep import (
     sweep_receiver_cores,
     sweep_region_size,
 )
+from repro.obs import MetricsRegistry, SimProfiler, write_trace
 
 __version__ = "1.0.0"
 
@@ -58,10 +59,12 @@ __all__ = [
     "IommuConfig",
     "LinkConfig",
     "MemoryConfig",
+    "MetricsRegistry",
     "NicConfig",
     "PcieConfig",
     "ResultTable",
     "SimConfig",
+    "SimProfiler",
     "SwiftConfig",
     "ThroughputModel",
     "WorkloadConfig",
@@ -71,4 +74,5 @@ __all__ = [
     "sweep_antagonist_cores",
     "sweep_receiver_cores",
     "sweep_region_size",
+    "write_trace",
 ]

@@ -11,7 +11,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional
 
-__all__ = ["load_results", "render_report"]
+__all__ = ["load_results", "metrics_section", "render_report"]
 
 _FIGURE_ORDER = ("figure1", "figure3", "figure4", "figure5", "figure6")
 
@@ -49,9 +49,49 @@ def _series_table(panel: dict) -> List[str]:
     return lines
 
 
+#: Registry metrics worth a row in the report, with display labels —
+#: the paper's headline hardware counters by their registry names.
+_HEADLINE_METRICS = (
+    ("gauges", "host.app_throughput_gbps", "app throughput (Gbps)"),
+    ("gauges", "nic.drop_rate", "NIC drop rate"),
+    ("gauges", "host.iotlb_misses_per_packet", "IOTLB misses/packet"),
+    ("gauges", "memory.bandwidth_GBps", "memory bandwidth (GB/s)"),
+    ("counters", "nic.dropped_packets", "dropped packets"),
+    ("counters", "transport.retransmissions", "retransmissions"),
+    ("gauges", "transport.mean_cwnd", "mean cwnd (packets)"),
+)
+
+
+def metrics_section(snapshot: dict,
+                    heading: str = "## Metrics snapshot") -> List[str]:
+    """Markdown lines for one metrics-registry snapshot
+    (:meth:`~repro.core.experiment.ExperimentHandle.metrics_snapshot`,
+    i.e. a ``--metrics-out`` payload)."""
+    lines = [heading, ""]
+    params = snapshot.get("meta", {}).get("params")
+    if params:
+        lines.append("*" + ", ".join(
+            f"{k}={v}" for k, v in sorted(params.items())) + "*")
+        lines.append("")
+    lines.append("| metric | value |")
+    lines.append("|---|---|")
+    for kind, name, label in _HEADLINE_METRICS:
+        value = snapshot.get(kind, {}).get(name)
+        if value is not None:
+            lines.append(f"| {label} | {value:g} |")
+    delay = snapshot.get("histograms", {}).get("nic.host_delay_us")
+    if delay and delay["count"]:
+        lines.append(f"| host delay p50 (us) | {delay['p50']:g} |")
+        lines.append(f"| host delay p99 (us) | {delay['p99']:g} |")
+    lines.append("")
+    return lines
+
+
 def render_report(results: Dict[str, dict],
-                  title: str = "Reproduction report") -> str:
-    """One markdown document: findings + data tables per figure."""
+                  title: str = "Reproduction report",
+                  metrics: Optional[dict] = None) -> str:
+    """One markdown document: findings + data tables per figure, plus
+    an optional metrics-snapshot section (``metrics``)."""
     lines = [f"# {title}", ""]
     total = passed = 0
     for payload in results.values():
@@ -84,15 +124,27 @@ def render_report(results: Dict[str, dict],
         lines.append(
             f"_regenerated in {payload.get('elapsed_s', '?')} s_")
         lines.append("")
+    if metrics is not None:
+        lines.extend(metrics_section(metrics))
     return "\n".join(lines)
 
 
 def write_report(directory: str | Path,
                  output: Optional[str | Path] = None) -> Path:
     """Load results from ``directory`` and write the report next to
-    them (default ``<directory>/REPORT.md``)."""
+    them (default ``<directory>/REPORT.md``).
+
+    A ``metrics.json`` in the directory (a ``--metrics-out`` payload,
+    or a list of them from ``sweep``) is appended as a metrics section.
+    """
     directory = Path(directory)
     results = load_results(directory)
+    metrics: Optional[dict] = None
+    metrics_path = directory / "metrics.json"
+    if metrics_path.exists():
+        loaded = json.loads(metrics_path.read_text())
+        metrics = loaded[0] if isinstance(loaded, list) and loaded else (
+            loaded if isinstance(loaded, dict) else None)
     path = Path(output) if output else directory / "REPORT.md"
-    path.write_text(render_report(results))
+    path.write_text(render_report(results, metrics=metrics))
     return path

@@ -7,6 +7,11 @@ Commands:
 - ``figure``  — regenerate one paper figure (ASCII + CSV + shape checks)
 - ``fleet``   — sample a heterogeneous fleet (Fig. 1) and print scatter
 - ``model``   — evaluate the analytical model at a grid of miss rates
+- ``trace``   — run one experiment traced, export Perfetto JSON
+- ``profile`` — run one experiment under the simulation profiler
+
+``run`` and ``sweep`` accept ``--metrics-out metrics.json`` to dump the
+full metrics-registry snapshot (every component counter/gauge/histogram).
 
 Every command prints to stdout and returns a process exit code, so the
 CLI composes with shell pipelines and CI.
@@ -16,7 +21,9 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.config import (
@@ -59,7 +66,10 @@ def _host_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration-ms", type=float, default=10.0)
 
 
-def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+def _config_from_args(args: argparse.Namespace,
+                      trace: bool = False,
+                      trace_max_records: int = 1_000_000,
+                      ) -> ExperimentConfig:
     return ExperimentConfig(
         host=HostConfig(
             cpu=CpuConfig(cores=args.cores),
@@ -72,7 +82,9 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         transport=args.transport,
         sim=SimConfig(warmup=args.warmup_ms * 1e-3,
                       duration=args.duration_ms * 1e-3,
-                      seed=args.seed),
+                      seed=args.seed,
+                      trace=trace,
+                      trace_max_records=trace_max_records),
     )
 
 
@@ -96,11 +108,19 @@ def _print_result(result) -> None:
         print(f"  {key:<{width}} : {value}")
 
 
+def _write_metrics(path: str, payload) -> None:
+    Path(path).write_text(json.dumps(payload, indent=1))
+    print(f"wrote metrics snapshot to {path}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     print(f"running: {config.describe()}")
-    result = run_experiment(config)
+    handles: list = []
+    result = run_experiment(config, handle_out=handles)
     _print_result(result)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, handles[0].metrics_snapshot())
     return 0
 
 
@@ -110,16 +130,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         duration=args.duration_ms * 1e-3,
         seed=args.seed,
     )
+    snapshots: Optional[list] = [] if args.metrics_out else None
     if args.axis == "cores":
-        table = sweep_receiver_cores(cores=tuple(args.values), base=base)
+        table = sweep_receiver_cores(cores=tuple(args.values), base=base,
+                                     snapshots_out=snapshots)
         x_key = "cores"
     elif args.axis == "region":
         table = sweep_region_size(
-            region_mb=tuple(int(v) for v in args.values), base=base)
+            region_mb=tuple(int(v) for v in args.values), base=base,
+            snapshots_out=snapshots)
         x_key = "rx_region_mb"
     else:
         table = sweep_antagonist_cores(
-            antagonists=tuple(int(v) for v in args.values), base=base)
+            antagonists=tuple(int(v) for v in args.values), base=base,
+            snapshots_out=snapshots)
         x_key = "antagonist_cores"
     header = (f"{x_key:>16} {'iommu':>6} {'tput Gbps':>10} "
               f"{'drop %':>7} {'misses/pkt':>11} {'mem GB/s':>9}")
@@ -136,6 +160,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         table.to_csv(args.csv)
         print(f"wrote {args.csv}")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, snapshots)
     return 0
 
 
@@ -179,6 +205,55 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.experiment import ExperimentHandle
+    from repro.obs.perfetto import write_trace
+
+    config = _config_from_args(args, trace=True,
+                               trace_max_records=args.max_records)
+    print(f"tracing: {config.describe()}")
+    handle = ExperimentHandle(config)
+    if not args.include_warmup:
+        # Trace only the measurement window: the flight recorder then
+        # holds the steady state the Swift blind-spot lives in.
+        handle.tracer.enabled = False
+        handle.run_warmup()
+        handle.tracer.enabled = True
+    handle.run_measurement()
+    tracer = handle.tracer
+    path = write_trace(args.out, tracer)
+    by_component: dict = {}
+    for record in tracer.records:
+        by_component[record.component] = (
+            by_component.get(record.component, 0) + 1)
+    print(f"kept {len(tracer)} records "
+          f"({tracer.dropped} evicted, {tracer.open_spans} spans open)")
+    for component, count in sorted(by_component.items(),
+                                   key=lambda kv: -kv[1]):
+        print(f"  {component:<12} {count}")
+    print(f"wrote {path} — open it at https://ui.perfetto.dev")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.experiment import ExperimentHandle
+    from repro.obs.profiler import SimProfiler
+
+    config = _config_from_args(args)
+    print(f"profiling: {config.describe()}")
+    handle = ExperimentHandle(config)
+    profiler = SimProfiler(handle.sim)
+    if not args.include_warmup:
+        handle.run_warmup()
+    with profiler:
+        handle.run_measurement()
+    print(profiler.format_report())
+    if args.out:
+        Path(args.out).write_text(json.dumps(profiler.report(), indent=1))
+        print(f"wrote profiler report to {args.out}")
+    return 0
+
+
 def cmd_model(args: argparse.Namespace) -> int:
     config = baseline_config()
     config = dataclasses.replace(
@@ -203,6 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one experiment")
     _host_args(p_run)
+    p_run.add_argument("--metrics-out",
+                       help="write the full metrics snapshot as JSON")
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="sweep one axis")
@@ -210,10 +287,31 @@ def build_parser() -> argparse.ArgumentParser:
                                           "antagonists"))
     p_sweep.add_argument("values", type=int, nargs="+")
     p_sweep.add_argument("--csv", help="also write results to CSV")
+    p_sweep.add_argument("--metrics-out",
+                         help="write per-run metrics snapshots as JSON")
     p_sweep.add_argument("--seed", type=int, default=1)
     p_sweep.add_argument("--warmup-ms", type=float, default=5.0)
     p_sweep.add_argument("--duration-ms", type=float, default=10.0)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one traced experiment, export Perfetto JSON")
+    _host_args(p_trace)
+    p_trace.add_argument("--out", default="trace.json",
+                         help="trace-event JSON path (default trace.json)")
+    p_trace.add_argument("--max-records", type=int, default=1_000_000,
+                         help="flight-recorder capacity")
+    p_trace.add_argument("--include-warmup", action="store_true",
+                         help="also trace the warmup window")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_prof = sub.add_parser(
+        "profile", help="run one experiment under the simulation profiler")
+    _host_args(p_prof)
+    p_prof.add_argument("--out", help="also write the report as JSON")
+    p_prof.add_argument("--include-warmup", action="store_true",
+                        help="profile the warmup window too")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", choices=("1", "3", "4", "5", "6"))

@@ -342,11 +342,16 @@ class SimConfig:
     duration: float = 25e-3
     seed: int = 1
     trace: bool = False
+    #: Flight-recorder capacity when tracing is on (oldest records are
+    #: evicted and counted once the ring is full).
+    trace_max_records: int = 1_000_000
 
     def __post_init__(self) -> None:
         _require(self.warmup >= 0, "negative warmup")
         _require(self.duration > 0, "duration must be positive")
         _require(self.seed >= 0, "seed must be non-negative")
+        _require(self.trace_max_records > 0,
+                 "trace_max_records must be positive")
 
     @property
     def end_time(self) -> float:

@@ -3,6 +3,11 @@
 Builds the full simulation graph (host + fabric + transport), runs the
 warmup, resets all window counters, runs the measurement window, and
 collects every headline metric of the paper.
+
+Every handle owns a :class:`~repro.obs.metrics.MetricsRegistry` with
+every component's observables bound, and a
+:class:`~repro.sim.tracing.Tracer` (enabled by ``config.sim.trace``)
+whose records export to Perfetto via :mod:`repro.obs.perfetto`.
 """
 
 from __future__ import annotations
@@ -12,7 +17,9 @@ from typing import Dict, Optional
 from repro.core.config import ExperimentConfig
 from repro.core.metrics import summarize
 from repro.core.results import ExperimentResult
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
+from repro.sim.tracing import Tracer
 from repro.workload.remote_read import RemoteReadWorkload
 
 __all__ = ["run_experiment", "ExperimentHandle"]
@@ -25,20 +32,39 @@ class ExperimentHandle:
     def __init__(self, config: ExperimentConfig):
         self.config = config
         self.sim = Simulator()
-        self.workload = RemoteReadWorkload(self.sim, config)
+        self.tracer = Tracer(self.sim, enabled=config.sim.trace,
+                             max_records=config.sim.trace_max_records)
+        self.metrics = MetricsRegistry()
+        self.workload = RemoteReadWorkload(self.sim, config,
+                                           tracer=self.tracer)
         self.host = self.workload.host
+        self.workload.bind_metrics(self.metrics)
         self._measuring = False
 
     def run_warmup(self) -> None:
         self.sim.run(until=self.config.sim.warmup)
         self.host.reset_stats()
         self.workload.reset_stats()
+        self.metrics.reset_window()
         self._measuring = True
 
     def run_measurement(self) -> None:
         if not self._measuring:
             self.run_warmup()
         self.sim.run(until=self.config.sim.end_time)
+
+    def metrics_snapshot(self) -> Dict[str, Dict]:
+        """The full registry snapshot plus run metadata — the payload
+        behind the CLI's ``--metrics-out`` flag."""
+        snapshot = self.metrics.snapshot()
+        snapshot["meta"] = {
+            "params": self.config.describe(),
+            "sim_time_s": self.sim.now,
+            "events_dispatched": self.sim.events_dispatched,
+            "trace_records": len(self.tracer),
+            "trace_dropped": self.tracer.dropped,
+        }
+        return snapshot
 
     def collect(self) -> ExperimentResult:
         host = self.host

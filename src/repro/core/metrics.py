@@ -74,6 +74,10 @@ class TimeSeriesRecorder:
 
     ``probe()`` returns a dict of floats; each sample is stored with its
     timestamp.  Used for convergence plots and debugging.
+
+    Ticks are scheduled at *absolute* times (``start + k * interval``)
+    rather than by chaining relative delays, so floating-point error
+    cannot accumulate into scheduling drift over long runs.
     """
 
     def __init__(self, sim: Simulator, interval: float,
@@ -86,21 +90,32 @@ class TimeSeriesRecorder:
         self.times: List[float] = []
         self.samples: List[Dict[str, float]] = []
         self._running = False
+        self._epoch = 0.0
+        self._tick_index = 0
 
     def start(self) -> None:
         if not self._running:
             self._running = True
-            self.sim.call(self.interval, self._tick)
+            self._epoch = self.sim.now
+            self._tick_index = 0
+            self.sim.at(self._next_tick_time(), self._tick)
 
     def stop(self) -> None:
+        """Stop sampling.  The already-scheduled tick is disarmed: it
+        fires once as a no-op (the engine has no event removal) and
+        does not record or reschedule, so the heap drains."""
         self._running = False
+
+    def _next_tick_time(self) -> float:
+        return self._epoch + (self._tick_index + 1) * self.interval
 
     def _tick(self) -> None:
         if not self._running:
             return
+        self._tick_index += 1
         self.times.append(self.sim.now)
         self.samples.append(self.probe())
-        self.sim.call(self.interval, self._tick)
+        self.sim.at(self._next_tick_time(), self._tick)
 
     def series(self, key: str) -> List[float]:
         return [sample[key] for sample in self.samples]

@@ -61,11 +61,22 @@ def _with_iommu(config: ExperimentConfig, enabled: bool) -> ExperimentConfig:
 def run_sweep(
     configs: Iterable[ExperimentConfig],
     progress: Optional[Callable[[int, ExperimentResult], None]] = None,
+    snapshots_out: Optional[list] = None,
 ) -> ResultTable:
-    """Run each config and collect results."""
+    """Run each config and collect results.
+
+    ``snapshots_out``, if given, receives one full metrics-registry
+    snapshot (``ExperimentHandle.metrics_snapshot``) per run, in table
+    order — the payload behind ``sweep --metrics-out``.
+    """
     table = ResultTable()
     for index, config in enumerate(configs):
-        result = run_experiment(config)
+        if snapshots_out is not None:
+            handles: list = []
+            result = run_experiment(config, handle_out=handles)
+            snapshots_out.append(handles[0].metrics_snapshot())
+        else:
+            result = run_experiment(config)
         table.append(result)
         if progress is not None:
             progress(index, result)
@@ -78,6 +89,7 @@ def sweep_receiver_cores(
     base: Optional[ExperimentConfig] = None,
     hugepages: Optional[bool] = None,
     progress=None,
+    snapshots_out: Optional[list] = None,
 ) -> ResultTable:
     """Figures 3 and 4: throughput/drops/misses vs receiver cores."""
     base = base or baseline_config()
@@ -87,7 +99,7 @@ def sweep_receiver_cores(
     for enabled in iommu_states:
         for n in cores:
             configs.append(_with_cores(_with_iommu(base, enabled), n))
-    return run_sweep(configs, progress)
+    return run_sweep(configs, progress, snapshots_out)
 
 
 def sweep_region_size(
@@ -95,6 +107,7 @@ def sweep_region_size(
     iommu_states: Sequence[bool] = (True, False),
     base: Optional[ExperimentConfig] = None,
     progress=None,
+    snapshots_out: Optional[list] = None,
 ) -> ResultTable:
     """Figure 5: throughput/drops/misses vs Rx memory region size."""
     base = base or baseline_config()
@@ -104,7 +117,7 @@ def sweep_region_size(
         for enabled in iommu_states
         for mb in region_mb
     ]
-    return run_sweep(configs, progress)
+    return run_sweep(configs, progress, snapshots_out)
 
 
 def sweep_antagonist_cores(
@@ -112,6 +125,7 @@ def sweep_antagonist_cores(
     iommu_states: Sequence[bool] = (False, True),
     base: Optional[ExperimentConfig] = None,
     progress=None,
+    snapshots_out: Optional[list] = None,
 ) -> ResultTable:
     """Figure 6: throughput/memory bandwidth/drops vs STREAM cores."""
     base = base or baseline_config()
@@ -120,4 +134,4 @@ def sweep_antagonist_cores(
         for enabled in iommu_states
         for n in antagonists
     ]
-    return run_sweep(configs, progress)
+    return run_sweep(configs, progress, snapshots_out)

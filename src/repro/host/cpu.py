@@ -20,6 +20,7 @@ from repro.host.memory import MemoryController
 from repro.host.nic import Nic
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
+from repro.sim.tracing import Tracer
 
 __all__ = ["ReceiverThread"]
 
@@ -37,6 +38,7 @@ class ReceiverThread:
         copy_model: CopyTrafficModel,
         on_processed: Callable[[Packet], None],
         replenish_batch: int = 32,
+        tracer: Optional[Tracer] = None,
     ):
         self.sim = sim
         self.thread_id = thread_id
@@ -46,6 +48,7 @@ class ReceiverThread:
         self.copy_model = copy_model
         self.on_processed = on_processed
         self.replenish_batch = replenish_batch
+        self.tracer = tracer
         self._queue: Deque[Packet] = deque()
         self._busy = False
         self._pending_descriptors = 0
@@ -74,7 +77,11 @@ class ReceiverThread:
         pkt = self._queue.popleft()
         service = self._service_time(pkt)
         self._busy_time += service
-        self.sim.call(service, self._finish, pkt)
+        span = 0
+        if self.tracer is not None and self.tracer.enabled:
+            span = self.tracer.begin(f"cpu{self.thread_id}", "process",
+                                     flow=pkt.flow_id, seq=pkt.seq)
+        self.sim.call(service, self._finish, pkt, span)
 
     def _service_time(self, pkt: Packet) -> float:
         """Per-packet processing time; copies stall when the memory bus
@@ -84,7 +91,9 @@ class ReceiverThread:
         contention = min(self.memory.utilization, 1.0)
         return base * (1.0 + self.config.contention_slowdown * contention)
 
-    def _finish(self, pkt: Packet) -> None:
+    def _finish(self, pkt: Packet, span: int = 0) -> None:
+        if span and self.tracer is not None:
+            self.tracer.end(span)
         pkt.cpu_done_time = self.sim.now
         self.processed_packets += 1
         self.processed_payload_bytes += pkt.payload_bytes
@@ -106,6 +115,22 @@ class ReceiverThread:
             self._pending_descriptors = 0
 
     # -- telemetry -------------------------------------------------------------
+
+    def bind_metrics(self, registry, component: Optional[str] = None) -> None:
+        """Register per-thread counters (reader-backed) in ``registry``.
+
+        The default component label is ``cpu<thread_id>`` so every
+        thread instance enumerates separately.
+        """
+        component = component or f"cpu{self.thread_id}"
+        registry.counter("processed_packets", component,
+                         fn=lambda: self.processed_packets)
+        registry.counter("processed_payload_bytes", component, unit="bytes",
+                         fn=lambda: self.processed_payload_bytes)
+        registry.gauge("queue_depth", component, unit="packets",
+                       fn=lambda: float(len(self._queue)))
+        registry.gauge("mean_queue_delay_us", component, unit="us",
+                       fn=lambda: self.mean_queue_delay() * 1e6)
 
     def utilization(self, elapsed: float) -> float:
         if elapsed <= 0:

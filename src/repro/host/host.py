@@ -100,6 +100,7 @@ class ReceiverHost:
                 copy_model=self.copy_model,
                 on_processed=self._on_processed,
                 replenish_batch=config.nic.replenish_batch,
+                tracer=tracer,
             )
             for tid in range(config.cpu.cores)
         ]
@@ -119,6 +120,29 @@ class ReceiverHost:
         sim.call(_FLUSH_INTERVAL, self._flush_tick)
 
     # -- wiring ---------------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Register every component's observables plus host-level
+        derived gauges in ``registry`` (one call per host instance)."""
+        self.nic.bind_metrics(registry, "nic")
+        self.iommu.bind_metrics(registry, "iommu")
+        self.iotlb.bind_metrics(registry, "iotlb")
+        self.pcie.bind_metrics(registry, "pcie")
+        self.memory.bind_metrics(registry, "memory")
+        self.remote_memory.bind_metrics(registry, "remote_memory")
+        for thread in self.threads:
+            thread.bind_metrics(registry)
+        for name, unit, fn in (
+            ("app_throughput_gbps", "Gbps",
+             lambda: self.app_throughput_bps() / 1e9),
+            ("wire_arrival_gbps", "Gbps",
+             lambda: self.wire_arrival_bps() / 1e9),
+            ("iotlb_misses_per_packet", "misses/pkt",
+             self.iotlb_misses_per_packet),
+            ("iommu_entries", "entries",
+             lambda: float(self.pagetable.entry_count)),
+        ):
+            registry.gauge(name, "host", unit, fn=fn)
 
     def attach_receiver(self, receiver: Callable[[Packet], None]) -> None:
         """Transport-layer hook, called once per processed packet."""

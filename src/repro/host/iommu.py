@@ -63,6 +63,19 @@ class Iommu:
     def enabled(self) -> bool:
         return self.config.enabled
 
+    def bind_metrics(self, registry, component: str = "iommu") -> None:
+        """Register translation counters (reader-backed, zero hot-path
+        cost) in ``registry``."""
+        for name, fn in (
+            ("translations", lambda: self.translations),
+            ("page_accesses", lambda: self.page_accesses),
+            ("iotlb_misses", lambda: self.total_misses),
+            ("walk_memory_accesses", lambda: self.total_walk_accesses),
+        ):
+            registry.counter(name, component, fn=fn)
+        registry.gauge("misses_per_translation", component,
+                       fn=self.misses_per_translation)
+
     def translate(self, page_keys: Iterable[int]) -> TranslationResult:
         """Translate every page in ``page_keys`` for one DMA.
 

@@ -61,6 +61,19 @@ class Iotlb:
             self.evictions += 1
         return False
 
+    def bind_metrics(self, registry, component: str = "iotlb") -> None:
+        """Register hit/miss/eviction counters in ``registry``."""
+        for name, fn in (
+            ("hits", lambda: self.hits),
+            ("misses", lambda: self.misses),
+            ("evictions", lambda: self.evictions),
+        ):
+            registry.counter(name, component, fn=fn)
+        registry.gauge("occupancy", component, unit="entries",
+                       fn=lambda: float(self.occupancy))
+        registry.gauge("miss_ratio", component, unit="fraction",
+                       fn=self.miss_ratio)
+
     def contains(self, key: int) -> bool:
         """Probe without touching LRU state or stats."""
         return key in self._set_for(key)

@@ -170,6 +170,21 @@ class MemoryController:
                 f"source class must be 'nic' or 'cpu', got {source_class!r}"
             )
 
+    def bind_metrics(self, registry, component: str = "memory") -> None:
+        """Register bus-level gauges plus one achieved-bandwidth gauge
+        per demand source known at bind time (all reader-backed)."""
+        registry.gauge("utilization", component, unit="fraction",
+                       fn=lambda: self._utilization)
+        registry.gauge("queue_delay_us", component, unit="us",
+                       fn=lambda: self._queue_delay * 1e6)
+        registry.gauge("bandwidth_GBps", component, unit="GB/s",
+                       fn=lambda: self.total_achieved_bandwidth() / 1e9)
+        for source in [*self._counters, *self._constants]:
+            registry.gauge(
+                f"bw_{source}_GBps", component, unit="GB/s",
+                fn=lambda s=source:
+                    self.achieved_bandwidth().get(s, 0.0) / 1e9)
+
     # -- periodic tick ----------------------------------------------------
 
     def start(self) -> None:

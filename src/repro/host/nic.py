@@ -104,6 +104,45 @@ class Nic:
         self.acks_sent = 0
         self._nic_delay_sum = 0.0
         self._dma_latency_sum = 0.0
+        # Bound by bind_metrics(); None keeps the hot path at one branch.
+        self._m_host_delay = None
+        self._m_dma_latency = None
+
+    def bind_metrics(self, registry, component: str = "nic") -> None:
+        """Register every NIC observable in ``registry``.
+
+        Counter/gauge readers pull the existing window counters at
+        snapshot time (zero hot-path cost); the two latency histograms
+        observe per-packet and cost one guarded append each.
+        """
+        for name, fn in (
+            ("rx_packets", lambda: self.rx_packets),
+            ("rx_bytes", lambda: self.rx_bytes),
+            ("dropped_packets", lambda: self.dropped_packets),
+            ("dropped_bytes", lambda: self.dropped_bytes),
+            ("dma_completed_packets", lambda: self.dma_completed_packets),
+            ("dma_completed_payload_bytes",
+             lambda: self.dma_completed_payload_bytes),
+            ("acks_sent", lambda: self.acks_sent),
+            ("ring_exhaustions",
+             lambda: sum(r.exhaustions for r in self.rings)),
+        ):
+            registry.counter(name, component, fn=fn)
+        for name, unit, fn in (
+            ("drop_rate", "fraction", self.drop_rate),
+            ("buffer_fraction", "fraction", self.buffer_fraction),
+            ("buffer_peak_fraction", "fraction",
+             lambda: self.buffer.peak_bytes / self.config.buffer_bytes),
+            ("mean_nic_delay_us", "us",
+             lambda: self.mean_nic_delay() * 1e6),
+            ("mean_dma_latency_us", "us",
+             lambda: self.mean_dma_latency() * 1e6),
+        ):
+            registry.gauge(name, component, unit, fn=fn)
+        self._m_host_delay = registry.histogram(
+            "host_delay_us", component, unit="us")
+        self._m_dma_latency = registry.histogram(
+            "dma_latency_us", component, unit="us")
 
     # -- receive path -------------------------------------------------------
 
@@ -154,23 +193,49 @@ class Nic:
         total = (self.pcie.config.dma_fixed_latency
                  + translation.latency + pcie_delay + mem_latency)
         self._dma_latency_sum += total
-        if self.tracer:
-            self.tracer.emit(
+        if self._m_dma_latency is not None:
+            self._m_dma_latency.observe(total * 1e6)
+        span = 0
+        if self.tracer is not None and self.tracer.enabled:
+            tracer = self.tracer
+            tracer.emit(
                 "nic", "dma_start", flow=pkt.flow_id, seq=pkt.seq,
                 misses=translation.iotlb_misses, latency=total)
-        self.sim.call(total, self._dma_done, pkt)
+            # One span per DMA, plus complete sub-spans for the stages
+            # whose latency is known up front: descriptor fetch →
+            # IOMMU translate → PCIe transfer → memory write.
+            span = tracer.begin("nic", "dma", flow=pkt.flow_id,
+                                seq=pkt.seq,
+                                misses=translation.iotlb_misses)
+            stage_start = self.sim.now
+            for stage, owner, dur in (
+                ("descriptor_fetch", "nic",
+                 self.pcie.config.dma_fixed_latency),
+                ("translate", "iommu", translation.latency),
+                ("pcie_transfer", "pcie", pcie_delay),
+                ("memory_write", "memory", mem_latency),
+            ):
+                if dur > 0:
+                    tracer.complete(owner, stage, stage_start, dur,
+                                    flow=pkt.flow_id, seq=pkt.seq)
+                stage_start += dur
+        self.sim.call(total, self._dma_done, pkt, span)
 
-    def _dma_done(self, pkt: Packet) -> None:
+    def _dma_done(self, pkt: Packet, span: int = 0) -> None:
         self._inflight_bytes -= pkt.wire_bytes
         self.credits.release(pkt.wire_bytes)
         pkt.dma_done_time = self.sim.now
         self.dma_completed_packets += 1
         self.dma_completed_payload_bytes += pkt.payload_bytes
         self._nic_delay_sum += pkt.dma_done_time - pkt.nic_arrival_time
+        if self._m_host_delay is not None:
+            self._m_host_delay.observe(
+                (pkt.dma_done_time - pkt.nic_arrival_time) * 1e6)
         self._traffic.add(pkt.payload_bytes + _CONTROL_WRITE_BYTES)
         if self.tracer:
             self.tracer.emit("nic", "dma_done", flow=pkt.flow_id,
                              seq=pkt.seq)
+            self.tracer.end(span)
         self.deliver(pkt)
         self._pump()
 

@@ -73,6 +73,15 @@ class PcieLink:
         self._busy_integral = 0.0
         self._accounted_until = 0.0
 
+    def bind_metrics(self, registry, component: str = "pcie") -> None:
+        """Register link counters in ``registry``."""
+        registry.counter("bytes_transferred", component, unit="bytes",
+                         fn=lambda: self.bytes_transferred)
+        registry.gauge(
+            "utilization", component, unit="fraction",
+            fn=lambda: self.utilization(
+                self.sim.now - self._accounted_until))
+
     def transfer_time(self, n_bytes: int) -> float:
         """Pure serialization time for ``n_bytes`` at goodput rate."""
         return n_bytes * 8 / self.config.goodput_bps

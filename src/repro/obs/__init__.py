@@ -1,0 +1,42 @@
+"""Unified observability: metrics, trace export, and profiling.
+
+The paper's argument is about *observability the fleet lacked* — host
+drops were invisible because nobody watched NIC buffer occupancy, IOTLB
+miss rates, and memory-bus queueing at sub-RTT granularity.  This
+package is the simulator's answer: every component registers its
+counters in a :class:`MetricsRegistry`, any run's trace opens in
+Perfetto (``ui.perfetto.dev``) via :func:`write_trace`, and the event
+loop itself is measurable with :class:`SimProfiler`.
+
+Public surface:
+
+- :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  reservoir-sampled histograms labeled by component instance, with a
+  ``snapshot()``/``to_json()`` API.
+- :func:`~repro.obs.perfetto.to_perfetto` /
+  :func:`~repro.obs.perfetto.write_trace` — Chrome/Perfetto
+  trace-event JSON export for :class:`~repro.sim.tracing.Tracer`.
+- :class:`~repro.obs.profiler.SimProfiler` — samples the event loop
+  (events/sec per component, wall-time per callback class, heap depth,
+  sim-time/wall-time ratio).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.perfetto import to_perfetto, to_trace_events, write_trace
+from repro.obs.profiler import SimProfiler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SimProfiler",
+    "to_perfetto",
+    "to_trace_events",
+    "write_trace",
+]

@@ -1,0 +1,254 @@
+"""Metrics registry: counters, gauges, and reservoir histograms.
+
+Each metric belongs to one *component instance* (``nic``, ``iommu``,
+``cpu3``, ``memory`` …) and has a short name; the full name is
+``component.name``.  Components either update metrics in place
+(:meth:`Counter.inc`, :meth:`Histogram.observe`) or register a
+zero-cost *reader* callable so the registry can pull the value of an
+existing attribute at snapshot time — the hot path then pays nothing.
+
+The registry is the single enumeration point for every paper
+observable: drop rate, IOTLB misses per packet, memory bandwidth,
+host-delay percentiles, cwnd, retransmits.  ``snapshot()`` returns a
+plain nested dict; ``to_json()`` serializes it.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+from typing import Callable, Dict, List, Optional
+
+from repro.core.metrics import percentile
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram reservoir size (algorithm-R uniform sample).
+DEFAULT_RESERVOIR = 4096
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    Either updated in place with :meth:`inc`, or *reader-backed*: the
+    ``fn`` callable pulls the count from an existing component
+    attribute, so instrumented code paths need no extra stores.
+    """
+
+    __slots__ = ("name", "unit", "_value", "_fn")
+
+    def __init__(self, name: str, unit: str = "",
+                 fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.unit = unit
+        self._value = 0
+        self._fn = fn
+
+    def inc(self, n: float = 1) -> None:
+        if self._fn is not None:
+            raise TypeError(f"counter {self.name!r} is reader-backed")
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+    def reset(self) -> None:
+        """Zero the stored count (reader-backed counters follow their
+        source attribute and are reset by the owning component)."""
+        self._value = 0
+
+
+class Gauge:
+    """A point-in-time value; settable or reader-backed."""
+
+    __slots__ = ("name", "unit", "_value", "_fn")
+
+    def __init__(self, name: str, unit: str = "",
+                 fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.unit = unit
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise TypeError(f"gauge {self.name!r} is reader-backed")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+
+class Histogram:
+    """A sample distribution with bounded memory.
+
+    Keeps exact ``count``/``sum``/``min``/``max`` plus a uniform random
+    reservoir (Vitter's algorithm R) of at most ``reservoir`` values
+    for percentile queries.  The replacement RNG is seeded from the
+    metric name so runs stay reproducible.
+    """
+
+    __slots__ = ("name", "unit", "reservoir_size", "count", "total",
+                 "minimum", "maximum", "_reservoir", "_rng")
+
+    def __init__(self, name: str, unit: str = "",
+                 reservoir: int = DEFAULT_RESERVOIR):
+        if reservoir <= 0:
+            raise ValueError(f"reservoir must be positive, got {reservoir}")
+        self.name = name
+        self.unit = unit
+        self.reservoir_size = reservoir
+        self._rng = random.Random(zlib.crc32(name.encode()))
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._reservoir: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile of the sampled reservoir (exact while
+        fewer than ``reservoir`` observations have been made)."""
+        if not self._reservoir:
+            return 0.0
+        return percentile(self._reservoir, p)
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                    "p99": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._reservoir.clear()
+
+
+class MetricsRegistry:
+    """All metrics of one simulation, keyed ``component.name``.
+
+    Registration of a duplicate full name raises — two component
+    instances must bind under distinct component labels.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- registration ------------------------------------------------------
+
+    @staticmethod
+    def _full_name(name: str, component: str) -> str:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        return f"{component}.{name}" if component else name
+
+    def _claim(self, full: str) -> None:
+        if (full in self._counters or full in self._gauges
+                or full in self._histograms):
+            raise ValueError(f"duplicate metric {full!r}")
+
+    def counter(self, name: str, component: str = "", unit: str = "",
+                fn: Optional[Callable[[], float]] = None) -> Counter:
+        full = self._full_name(name, component)
+        self._claim(full)
+        metric = Counter(full, unit, fn)
+        self._counters[full] = metric
+        return metric
+
+    def gauge(self, name: str, component: str = "", unit: str = "",
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        full = self._full_name(name, component)
+        self._claim(full)
+        metric = Gauge(full, unit, fn)
+        self._gauges[full] = metric
+        return metric
+
+    def histogram(self, name: str, component: str = "", unit: str = "",
+                  reservoir: int = DEFAULT_RESERVOIR) -> Histogram:
+        full = self._full_name(name, component)
+        self._claim(full)
+        metric = Histogram(full, unit, reservoir)
+        self._histograms[full] = metric
+        return metric
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, full_name: str):
+        for table in (self._counters, self._gauges, self._histograms):
+            if full_name in table:
+                return table[full_name]
+        raise KeyError(full_name)
+
+    def __contains__(self, full_name: str) -> bool:
+        return (full_name in self._counters or full_name in self._gauges
+                or full_name in self._histograms)
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def names(self) -> List[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    # -- output ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Every metric's current value as a plain nested dict."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.summary()
+                           for name, h in sorted(self._histograms.items())},
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def reset_window(self) -> None:
+        """Warmup boundary: zero stored counters and histogram samples.
+
+        Reader-backed metrics follow their source attributes, which the
+        owning components reset through their own ``reset_stats()``.
+        """
+        for counter in self._counters.values():
+            if counter._fn is None:
+                counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()

@@ -1,0 +1,135 @@
+"""Chrome/Perfetto trace-event JSON export.
+
+Converts :class:`~repro.sim.tracing.TraceRecord` streams into the
+Trace Event Format that ``ui.perfetto.dev`` and ``chrome://tracing``
+load directly, so any simulation run can be inspected visually — e.g.
+the Swift blind-spot window, where NIC DMA spans stretch while the
+sender's RTT samples stay flat.
+
+Mapping:
+
+- each traced *component* becomes one named thread (``tid``) of a
+  single ``repro-sim`` process;
+- ``"B"``/``"E"`` span pairs are matched by ``span_id`` and emitted as
+  one complete (``"X"``) event with a duration;
+- ``"X"`` records pass through as complete events;
+- instant (``"i"``) records become instant events;
+- simulation seconds become trace microseconds (the format's unit).
+
+Unmatched begins (spans still open at export time) are emitted as
+``"B"`` events; Perfetto renders them as unfinished slices.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.sim.tracing import TraceRecord, Tracer
+
+__all__ = ["to_trace_events", "to_perfetto", "write_trace"]
+
+_PID = 1
+
+#: Seconds → trace-event timestamp units (microseconds).
+_US = 1e6
+
+
+def _json_safe(fields: Dict) -> Dict:
+    return {k: (v if isinstance(v, (int, float, str, bool, type(None)))
+                else str(v))
+            for k, v in fields.items()}
+
+
+def to_trace_events(
+    records: Iterable[TraceRecord],
+) -> List[Dict]:
+    """Convert records to a list of trace-event dicts.
+
+    Components are assigned thread ids in first-seen order; metadata
+    events naming the process and each thread are prepended.
+    """
+    tids: Dict[str, int] = {}
+    events: List[Dict] = []
+    open_begins: Dict[int, TraceRecord] = {}
+
+    def tid_for(component: str) -> int:
+        tid = tids.get(component)
+        if tid is None:
+            tid = tids[component] = len(tids) + 1
+        return tid
+
+    for record in records:
+        tid = tid_for(record.component)
+        if record.phase == "B":
+            open_begins[record.span_id] = record
+        elif record.phase == "E":
+            begun = open_begins.pop(record.span_id, None)
+            if begun is None:
+                # The begin was evicted from the flight recorder; emit
+                # the bare end so the slice is still visible.
+                events.append({
+                    "name": record.event, "ph": "E", "pid": _PID,
+                    "tid": tid, "ts": record.time * _US,
+                    "args": _json_safe(record.fields),
+                })
+                continue
+            args = _json_safe({**begun.fields, **record.fields})
+            args.pop("dur", None)
+            events.append({
+                "name": record.event, "ph": "X", "pid": _PID, "tid": tid,
+                "ts": begun.time * _US,
+                "dur": (record.time - begun.time) * _US,
+                "args": args,
+            })
+        elif record.phase == "X":
+            args = _json_safe(record.fields)
+            duration = args.pop("dur", 0.0)
+            events.append({
+                "name": record.event, "ph": "X", "pid": _PID, "tid": tid,
+                "ts": record.time * _US, "dur": duration * _US,
+                "args": args,
+            })
+        else:
+            events.append({
+                "name": record.event, "ph": "i", "pid": _PID, "tid": tid,
+                "ts": record.time * _US, "s": "t",
+                "args": _json_safe(record.fields),
+            })
+
+    # Spans still open at export time: visible as unfinished slices.
+    for begun in open_begins.values():
+        events.append({
+            "name": begun.event, "ph": "B", "pid": _PID,
+            "tid": tids[begun.component], "ts": begun.time * _US,
+            "args": _json_safe(begun.fields),
+        })
+
+    metadata: List[Dict] = [{
+        "name": "process_name", "ph": "M", "pid": _PID,
+        "args": {"name": "repro-sim"},
+    }]
+    for component, tid in tids.items():
+        metadata.append({
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+            "args": {"name": component},
+        })
+    return metadata + events
+
+
+def to_perfetto(source: Union[Tracer, Iterable[TraceRecord]]) -> Dict:
+    """The full trace-event JSON document for a tracer or record list."""
+    records = source.records if isinstance(source, Tracer) else source
+    return {
+        "traceEvents": to_trace_events(records),
+        "displayTimeUnit": "ns",
+    }
+
+
+def write_trace(path: Union[str, Path],
+                source: Union[Tracer, Iterable[TraceRecord]]) -> Path:
+    """Serialize ``source`` as Perfetto-loadable JSON at ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(to_perfetto(source)))
+    return path

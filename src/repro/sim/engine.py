@@ -190,7 +190,8 @@ class Simulator:
         sim.run(until=0.01)
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_stopped", "_n_dispatched")
+    __slots__ = ("_now", "_heap", "_seq", "_stopped", "_n_dispatched",
+                 "_dispatch_hook")
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -198,6 +199,7 @@ class Simulator:
         self._seq = 0
         self._stopped = False
         self._n_dispatched = 0
+        self._dispatch_hook: Optional[Callable] = None
 
     @property
     def now(self) -> float:
@@ -277,6 +279,19 @@ class Simulator:
         """Stop :meth:`run` after the current callback returns."""
         self._stopped = True
 
+    def set_dispatch_hook(
+        self, hook: Optional[Callable[[float, Callable, tuple], None]],
+    ) -> None:
+        """Route every dispatch through ``hook(time, fn, args)``.
+
+        The hook is responsible for calling ``fn(*args)`` itself (so a
+        profiler can time it).  ``None`` restores direct dispatch.  The
+        loop in :meth:`run` reads the hook once per ``run`` call, so a
+        change takes effect at the next ``run``; with no hook the loop
+        pays a single ``is None`` branch per event.
+        """
+        self._dispatch_hook = hook
+
     def run(self, until: Optional[float] = None) -> float:
         """Dispatch events until the heap drains or ``until`` is reached.
 
@@ -287,6 +302,7 @@ class Simulator:
         """
         self._stopped = False
         heap = self._heap
+        hook = self._dispatch_hook
         while heap and not self._stopped:
             time, _seq, fn, args = heap[0]
             if until is not None and time > until:
@@ -294,7 +310,10 @@ class Simulator:
             heapq.heappop(heap)
             self._now = time
             self._n_dispatched += 1
-            fn(*args)
+            if hook is None:
+                fn(*args)
+            else:
+                hook(time, fn, args)
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return self._now

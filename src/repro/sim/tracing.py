@@ -1,19 +1,37 @@
-"""Lightweight event tracing.
+"""Lightweight event tracing with spans and a flight recorder.
 
-Components call ``tracer.emit(component, event, **fields)``; when tracing
-is disabled (the default) this is a single attribute check, so the hot
-path stays cheap.  Tests and debugging sessions enable it to assert on
-exact event orderings.
+Components call ``tracer.emit(component, event, **fields)``; when
+tracing is disabled (the default) every entry point is a single
+attribute check, so the hot path stays cheap.  Tests and debugging
+sessions enable it to assert on exact event orderings.
+
+Three record phases exist (mirroring the Chrome trace-event format the
+Perfetto exporter in :mod:`repro.obs.perfetto` emits):
+
+- ``"i"`` — instant events from :meth:`Tracer.emit`;
+- ``"B"``/``"E"`` — span begin/end pairs from :meth:`Tracer.begin` /
+  :meth:`Tracer.end` (e.g. one span per DMA, descriptor fetch →
+  IOMMU translate → memory write → completion);
+- ``"X"`` — complete spans with a known duration from
+  :meth:`Tracer.complete` (sub-stages whose latency is computed up
+  front, like one DMA's translation time).
+
+Storage is a bounded **flight-recorder ring**: the last ``max_records``
+records are always retained, older ones are evicted and counted in
+:attr:`Tracer.dropped` (with a one-time warning) instead of silently
+vanishing.  Sinks always see every record regardless of the ring.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.sim.engine import Simulator
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["TraceRecord", "Tracer", "null_tracer"]
 
 
 @dataclass(frozen=True)
@@ -24,10 +42,14 @@ class TraceRecord:
     component: str
     event: str
     fields: Dict[str, Any] = field(default_factory=dict)
+    phase: str = "i"
+    span_id: int = 0
 
     def __str__(self) -> str:
         kv = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
-        return f"[{self.time * 1e6:10.3f}us] {self.component}.{self.event} {kv}"
+        tag = "" if self.phase == "i" else f" <{self.phase}>"
+        return (f"[{self.time * 1e6:10.3f}us] "
+                f"{self.component}.{self.event}{tag} {kv}")
 
 
 class Tracer:
@@ -35,42 +57,126 @@ class Tracer:
 
     def __init__(self, sim: Simulator, enabled: bool = False,
                  max_records: int = 1_000_000):
+        if max_records <= 0:
+            raise ValueError(
+                f"max_records must be positive, got {max_records}")
         self.sim = sim
         self.enabled = enabled
         self.max_records = max_records
-        self.records: List[TraceRecord] = []
+        #: Records evicted from the ring (never silently lost).
+        self.dropped = 0
+        self._ring: Deque[TraceRecord] = deque()
         self._sinks: List[Callable[[TraceRecord], None]] = []
+        self._next_span_id = 1
+        self._open_spans: Dict[int, Tuple[str, str, float]] = {}
+        self._warned_drop = False
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The retained records, oldest first (a bounded ring: at most
+        ``max_records``, the newest always present)."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
 
     def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
         """Also forward records to ``sink`` (e.g. print, file writer)."""
         self._sinks.append(sink)
 
-    def emit(self, component: str, event: str, **fields: Any) -> None:
-        if not self.enabled:
-            return
-        record = TraceRecord(self.sim.now, component, event, fields)
-        if len(self.records) < self.max_records:
-            self.records.append(record)
+    # -- record intake -----------------------------------------------------
+
+    def _append(self, record: TraceRecord) -> None:
+        if len(self._ring) >= self.max_records:
+            self._ring.popleft()
+            self.dropped += 1
+            if not self._warned_drop:
+                self._warned_drop = True
+                warnings.warn(
+                    f"tracer ring full ({self.max_records} records); "
+                    "evicting oldest records (see Tracer.dropped)",
+                    RuntimeWarning, stacklevel=3)
+        self._ring.append(record)
         for sink in self._sinks:
             sink(record)
 
+    def emit(self, component: str, event: str, **fields: Any) -> None:
+        """Record an instant event."""
+        if not self.enabled:
+            return
+        self._append(TraceRecord(self.sim.now, component, event, fields))
+
+    # -- spans -------------------------------------------------------------
+
+    def begin(self, component: str, event: str, **fields: Any) -> int:
+        """Open a span; returns its id (0 when tracing is disabled).
+
+        Pass the id to :meth:`end` when the spanned work completes —
+        possibly many simulated microseconds later, from a different
+        callback.
+        """
+        if not self.enabled:
+            return 0
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        now = self.sim.now
+        self._open_spans[span_id] = (component, event, now)
+        self._append(TraceRecord(now, component, event, fields, "B",
+                                 span_id))
+        return span_id
+
+    def end(self, span_id: int, **fields: Any) -> float:
+        """Close a span opened by :meth:`begin`; returns its duration.
+
+        A zero or unknown id is a no-op (so callers can hold the 0 that
+        a disabled :meth:`begin` returned without re-checking).
+        """
+        if not self.enabled or span_id == 0:
+            return 0.0
+        opened = self._open_spans.pop(span_id, None)
+        if opened is None:
+            return 0.0
+        component, event, begin_time = opened
+        now = self.sim.now
+        duration = now - begin_time
+        fields["dur"] = duration
+        self._append(TraceRecord(now, component, event, fields, "E",
+                                 span_id))
+        return duration
+
+    def complete(self, component: str, event: str, start: float,
+                 duration: float, **fields: Any) -> None:
+        """Record a whole span at once (start and duration known)."""
+        if not self.enabled:
+            return
+        fields["dur"] = duration
+        self._append(TraceRecord(start, component, event, fields, "X"))
+
+    @property
+    def open_spans(self) -> int:
+        """Spans begun but not yet ended."""
+        return len(self._open_spans)
+
+    # -- queries -----------------------------------------------------------
+
     def filter(self, component: Optional[str] = None,
-               event: Optional[str] = None) -> List[TraceRecord]:
-        """Records matching the given component and/or event name."""
-        out = self.records
+               event: Optional[str] = None,
+               phase: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given component/event name/phase."""
+        out: List[TraceRecord] = list(self._ring)
         if component is not None:
             out = [r for r in out if r.component == component]
         if event is not None:
             out = [r for r in out if r.event == event]
-        return list(out)
+        if phase is not None:
+            out = [r for r in out if r.phase == phase]
+        return out
 
     def clear(self) -> None:
-        self.records.clear()
-
-
-#: A tracer that is always disabled — usable as a default argument so
-#: components never need None checks.
-NULL_TRACER: Optional[Tracer] = None
+        self._ring.clear()
+        self._open_spans.clear()
+        self.dropped = 0
+        self._warned_drop = False
 
 
 def null_tracer(sim: Simulator) -> Tracer:

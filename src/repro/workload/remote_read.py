@@ -12,7 +12,7 @@ pair, all continuously backlogged with 16 KB read responses.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.config import ExperimentConfig
 from repro.host.host import ReceiverHost
@@ -20,6 +20,7 @@ from repro.net.fabric import Fabric
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.sim.randoms import RngRegistry
+from repro.sim.tracing import Tracer
 from repro.transport.base import Connection
 from repro.transport.receiver import ReceiverEndpoint
 from repro.transport.swift import make_cc
@@ -30,13 +31,14 @@ __all__ = ["RemoteReadWorkload"]
 class RemoteReadWorkload:
     """Builds and owns the full sender/fabric/host/transport graph."""
 
-    def __init__(self, sim: Simulator, config: ExperimentConfig):
+    def __init__(self, sim: Simulator, config: ExperimentConfig,
+                 tracer: Optional[Tracer] = None):
         self.sim = sim
         self.config = config
         rngs = RngRegistry(config.sim.seed)
         self._arrival_rng = rngs.stream("arrivals")
         self.host = ReceiverHost(
-            sim, config.host, rngs.stream("host"))
+            sim, config.host, rngs.stream("host"), tracer=tracer)
         self.fabric = Fabric(
             sim,
             config.link,
@@ -125,6 +127,36 @@ class RemoteReadWorkload:
                       arrive)
 
     # -- aggregate statistics ---------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Register host + transport observables in ``registry``.
+
+        Transport metrics are fleet aggregates over all connections
+        (per-flow metrics would register cores × senders entries).
+        """
+        self.host.bind_metrics(registry)
+        for name, fn in (
+            ("packets_sent", self.total_packets_sent),
+            ("retransmissions", self.total_retransmissions),
+            ("timeouts", self.total_timeouts),
+            ("acks_received",
+             lambda: sum(c.acks_received for c in self.connections)),
+            ("losses_detected",
+             lambda: sum(c.losses_detected for c in self.connections)),
+        ):
+            registry.counter(name, "transport", fn=fn)
+        registry.gauge("mean_cwnd", "transport", unit="packets",
+                       fn=self.mean_cwnd)
+        registry.gauge(
+            "mean_srtt_us", "transport", unit="us",
+            fn=lambda: (sum(c.srtt for c in self.connections)
+                        / len(self.connections) * 1e6
+                        if self.connections else 0.0))
+        registry.counter("messages_completed", "receiver",
+                         fn=lambda: float(
+                             self.receiver.messages_completed()))
+        registry.counter("fabric_drops", "fabric",
+                         fn=lambda: float(self.fabric.fabric_drops()))
 
     def total_packets_sent(self) -> int:
         return sum(c.packets_sent for c in self.connections)

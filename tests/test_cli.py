@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -53,6 +55,71 @@ def test_sweep_writes_csv(tmp_path, capsys):
     assert code == 0
     assert csv_path.exists()
     assert "antagonist_cores" in csv_path.read_text().splitlines()[0]
+
+
+def test_run_metrics_out_writes_snapshot(tmp_path, capsys):
+    out = tmp_path / "metrics.json"
+    code = main(["run", "--cores", "2", "--senders", "4",
+                 "--warmup-ms", "0.5", "--duration-ms", "1.5",
+                 "--metrics-out", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert "nic.dropped_packets" in payload["counters"]
+    assert "iommu.iotlb_misses" in payload["counters"]
+    assert "nic.drop_rate" in payload["gauges"]
+    assert "memory.bandwidth_GBps" in payload["gauges"]
+    assert payload["histograms"]["nic.host_delay_us"]["count"] > 0
+    assert payload["meta"]["events_dispatched"] > 0
+
+
+def test_sweep_metrics_out_writes_one_snapshot_per_run(tmp_path):
+    out = tmp_path / "metrics.json"
+    code = main(["sweep", "antagonists", "0", "2",
+                 "--warmup-ms", "0.5", "--duration-ms", "1",
+                 "--metrics-out", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    # One snapshot per config: 2 antagonist counts x 2 IOMMU states.
+    assert isinstance(payload, list) and len(payload) == 4
+    assert all("nic.rx_packets" in snap["counters"] for snap in payload)
+    assert [snap["meta"]["params"]["antagonist_cores"]
+            for snap in payload] == [0, 2, 0, 2]
+
+
+def test_trace_command_writes_perfetto_json(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    code = main(["trace", "--cores", "2", "--senders", "4",
+                 "--warmup-ms", "0.5", "--duration-ms", "1",
+                 "--out", str(out)])
+    assert code == 0
+    doc = json.loads(out.read_text())
+    assert any(e.get("name") == "dma" and e["ph"] == "X"
+               for e in doc["traceEvents"])
+    stdout = capsys.readouterr().out
+    assert "kept" in stdout
+    assert "ui.perfetto.dev" in stdout
+
+
+def test_trace_excludes_warmup_by_default(tmp_path):
+    out = tmp_path / "trace.json"
+    main(["trace", "--cores", "2", "--senders", "4",
+          "--warmup-ms", "1", "--duration-ms", "1", "--out", str(out)])
+    doc = json.loads(out.read_text())
+    timed = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    # All events inside the measurement window (after 1 ms warmup).
+    assert min(e["ts"] for e in timed) >= 1_000  # µs
+
+
+def test_profile_command_reports(tmp_path, capsys):
+    out = tmp_path / "profile.json"
+    code = main(["profile", "--cores", "2", "--senders", "4",
+                 "--warmup-ms", "0.5", "--duration-ms", "1",
+                 "--out", str(out)])
+    assert code == 0
+    assert "events/sec" in capsys.readouterr().out
+    report = json.loads(out.read_text())
+    assert report["events"] > 0
+    assert "ReceiverThread" in report["components"]
 
 
 def test_model_table(capsys):

@@ -75,6 +75,53 @@ class TestTimeSeriesRecorder:
         with pytest.raises(ValueError):
             TimeSeriesRecorder(Simulator(), 0, probe=lambda: {})
 
+    def test_no_drift_over_long_run(self):
+        # Ticks are scheduled at absolute epoch + k*interval times; with
+        # an interval that is inexact in binary (1e-4) and tens of
+        # thousands of ticks, chained relative delays would accumulate
+        # float error.  Every tick must land exactly on the grid.
+        sim = Simulator()
+        interval = 1e-4
+        recorder = TimeSeriesRecorder(sim, interval, probe=lambda: {"v": 0})
+        recorder.start()
+        sim.run(until=2.0)
+        assert len(recorder) == 20_000
+        for k, t in enumerate(recorder.times, start=1):
+            assert t == k * interval, f"tick {k} drifted: {t!r}"
+
+    def test_starts_from_current_time_epoch(self):
+        sim = Simulator()
+        recorder = TimeSeriesRecorder(sim, 1e-3,
+                                      probe=lambda: {"v": sim.now})
+        sim.call(0.25e-3, recorder.start)
+        sim.run(until=3.5e-3)
+        assert recorder.times == pytest.approx(
+            [1.25e-3, 2.25e-3, 3.25e-3])
+
+    def test_stop_disarms_pending_tick_and_heap_drains(self):
+        sim = Simulator()
+        recorder = TimeSeriesRecorder(sim, 1e-3, probe=lambda: {"v": 1})
+        recorder.start()
+        sim.call(2.5e-3, recorder.stop)
+        # No `until`: the run must terminate on its own, i.e. the
+        # stopped recorder's pending tick must not reschedule forever.
+        sim.run()
+        assert len(recorder) == 2
+        assert sim.peek() is None
+
+    def test_restart_after_stop_rebases_epoch(self):
+        sim = Simulator()
+        recorder = TimeSeriesRecorder(sim, 1e-3, probe=lambda: {"v": 1})
+        recorder.start()
+        sim.run(until=2.5e-3)
+        recorder.stop()
+        sim.run(until=7.2e-3)
+        recorder.start()
+        sim.run(until=9.5e-3)
+        # Two ticks before the stop, then 8.2ms and 9.2ms after restart.
+        assert recorder.times == pytest.approx(
+            [1e-3, 2e-3, 8.2e-3, 9.2e-3])
+
 
 def result(**params):
     defaults = {"cores": 12, "iommu": True}

@@ -1,0 +1,181 @@
+"""Unit tests for the metrics registry (obs.metrics)."""
+
+import json
+import statistics
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_reader_backed_tracks_source(self):
+        box = {"n": 0}
+        c = Counter("c", fn=lambda: box["n"])
+        box["n"] = 7
+        assert c.value == 7
+
+    def test_reader_backed_rejects_inc(self):
+        c = Counter("c", fn=lambda: 0)
+        with pytest.raises(TypeError):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge("g")
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_reader_backed_rejects_set(self):
+        g = Gauge("g", fn=lambda: 1.0)
+        with pytest.raises(TypeError):
+            g.set(3.0)
+        assert g.value == 1.0
+
+
+class TestHistogram:
+    def test_percentiles_match_statistics_quantiles(self):
+        h = Histogram("h")
+        values = [float(i) for i in range(1, 1001)]
+        for v in values:
+            h.observe(v)
+        # statistics.quantiles with n=100 and 'inclusive' matches the
+        # linear-interpolation percentile definition used here.
+        quantiles = statistics.quantiles(values, n=100, method="inclusive")
+        assert h.percentile(50) == pytest.approx(quantiles[49])
+        assert h.percentile(90) == pytest.approx(quantiles[89])
+        assert h.percentile(99) == pytest.approx(quantiles[98])
+
+    def test_exact_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(2.0)
+        assert h.minimum == 1.0
+        assert h.maximum == 3.0
+
+    def test_reservoir_is_bounded(self):
+        h = Histogram("h", reservoir=100)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h._reservoir) == 100
+        assert h.count == 10_000
+        # min/max stay exact even when sampled out of the reservoir.
+        assert h.minimum == 0.0
+        assert h.maximum == 9999.0
+
+    def test_reservoir_percentiles_approximate_truth(self):
+        h = Histogram("h", reservoir=512)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(5000, rel=0.15)
+
+    def test_reservoir_sampling_is_deterministic(self):
+        def build():
+            h = Histogram("same-name", reservoir=64)
+            for v in range(5000):
+                h.observe(float(v))
+            return h._reservoir
+
+        assert build() == build()
+
+    def test_empty_summary(self):
+        s = Histogram("h").summary()
+        assert s["count"] == 0
+        assert s["p99"] == 0.0
+
+    def test_summary_keys(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        assert set(h.summary()) == {"count", "mean", "p50", "p90", "p99",
+                                    "min", "max"}
+
+    def test_bad_reservoir_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", reservoir=0)
+
+
+class TestMetricsRegistry:
+    def test_full_names_are_component_scoped(self):
+        reg = MetricsRegistry()
+        reg.counter("rx", "nic")
+        reg.counter("rx", "nic2")  # same short name, other instance: ok
+        assert "nic.rx" in reg
+        assert "nic2.rx" in reg
+
+    def test_duplicate_registration_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("rx", "nic")
+        with pytest.raises(ValueError):
+            reg.counter("rx", "nic")
+        with pytest.raises(ValueError):
+            reg.gauge("rx", "nic")  # cross-kind collision too
+        with pytest.raises(ValueError):
+            reg.histogram("rx", "nic")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("", "nic")
+
+    def test_get_and_contains(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        assert reg.get("a") is c
+        with pytest.raises(KeyError):
+            reg.get("missing")
+        assert "missing" not in reg
+
+    def test_len_and_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        reg.histogram("c")
+        assert len(reg) == 3
+        assert reg.names() == ["a", "b", "c"]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("drops", "nic").inc(3)
+        reg.gauge("util", "memory").set(0.5)
+        reg.histogram("delay", "nic").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["nic.drops"] == 3
+        assert snap["gauges"]["memory.util"] == 0.5
+        assert snap["histograms"]["nic.delay"]["count"] == 1
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("drops", "nic").inc()
+        assert json.loads(reg.to_json())["counters"]["nic.drops"] == 1
+
+    def test_reset_window_zeros_stored_metrics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("drops")
+        h = reg.histogram("delay")
+        g = reg.gauge("level")
+        c.inc(5)
+        h.observe(1.0)
+        g.set(2.0)
+        reg.reset_window()
+        assert c.value == 0
+        assert h.count == 0
+        assert g.value == 2.0  # gauges are point-in-time, not windowed
+
+    def test_reset_window_leaves_reader_backed_counters(self):
+        reg = MetricsRegistry()
+        box = {"n": 9}
+        c = reg.counter("drops", fn=lambda: box["n"])
+        reg.reset_window()
+        assert c.value == 9  # follows its source attribute

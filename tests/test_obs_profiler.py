@@ -1,0 +1,121 @@
+"""Tests for the simulation profiler (obs.profiler)."""
+
+import pytest
+
+from repro.obs.profiler import SimProfiler
+from repro.sim.engine import Simulator
+
+
+class Ticker:
+    """A self-rescheduling callback component for dispatch accounting."""
+
+    def __init__(self, sim, period, limit):
+        self.sim = sim
+        self.period = period
+        self.limit = limit
+        self.fired = 0
+
+    def start(self):
+        self.sim.call(self.period, self.tick)
+
+    def tick(self):
+        self.fired += 1
+        if self.fired < self.limit:
+            self.sim.call(self.period, self.tick)
+
+
+def test_counts_every_dispatched_event():
+    sim = Simulator()
+    ticker = Ticker(sim, 1e-6, 50)
+    ticker.start()
+    profiler = SimProfiler(sim)
+    profiler.install()
+    sim.run()
+    assert ticker.fired == 50
+    assert profiler.events == 50
+    assert sim.events_dispatched == 50  # hook does not double-dispatch
+
+
+def test_per_component_attribution():
+    sim = Simulator()
+    a = Ticker(sim, 1e-6, 10)
+    b = Ticker(sim, 2e-6, 5)
+    a.start()
+    b.start()
+    with SimProfiler(sim) as profiler:
+        sim.run()
+    report = profiler.report()
+    # Both tickers are the same class, so they share one component bucket.
+    assert report["components"]["Ticker"]["events"] == 15
+    assert report["callbacks"]["Ticker.tick"]["count"] == 15
+
+
+def test_plain_function_component():
+    sim = Simulator()
+    sim.call(1e-6, lambda: None)
+    with SimProfiler(sim) as profiler:
+        sim.run()
+    assert profiler.report()["components"]["<function>"]["events"] == 1
+
+
+def test_report_shape_and_ratios():
+    sim = Simulator()
+    Ticker(sim, 1e-6, 200).start()
+    with SimProfiler(sim) as profiler:
+        sim.run()
+    report = profiler.report()
+    assert set(report) == {"events", "wall_s", "events_per_sec",
+                           "sim_time_s", "sim_wall_ratio", "heap_depth",
+                           "components", "callbacks"}
+    assert report["events"] == 200
+    assert report["wall_s"] > 0
+    assert report["events_per_sec"] > 0
+    assert report["sim_time_s"] == pytest.approx(200e-6)
+    assert report["sim_wall_ratio"] == pytest.approx(
+        report["sim_time_s"] / report["wall_s"])
+    assert report["heap_depth"]["samples"] >= 1
+    cb = report["callbacks"]["Ticker.tick"]
+    assert cb["mean_us"] == pytest.approx(cb["wall_s"] / cb["count"] * 1e6)
+
+
+def test_uninstall_restores_direct_dispatch():
+    sim = Simulator()
+    Ticker(sim, 1e-6, 10).start()
+    profiler = SimProfiler(sim)
+    profiler.install()
+    profiler.uninstall()
+    sim.run()
+    assert profiler.events == 0
+    assert sim.events_dispatched == 10
+
+
+def test_heap_sampling_interval():
+    sim = Simulator()
+    Ticker(sim, 1e-6, 130).start()
+    with SimProfiler(sim, sample_heap_every=64) as profiler:
+        sim.run()
+    assert profiler.report()["heap_depth"]["samples"] == 2  # 130 // 64
+
+
+def test_empty_report_is_safe():
+    sim = Simulator()
+    report = SimProfiler(sim).report()
+    assert report["events"] == 0
+    assert report["events_per_sec"] == 0.0
+    assert report["sim_wall_ratio"] == 0.0
+    assert report["heap_depth"]["mean"] == 0.0
+
+
+def test_format_report_renders():
+    sim = Simulator()
+    Ticker(sim, 1e-6, 20).start()
+    with SimProfiler(sim) as profiler:
+        sim.run()
+    text = profiler.format_report()
+    assert "events/sec" in text
+    assert "Ticker.tick" in text
+
+
+def test_bad_sample_interval_rejected():
+    with pytest.raises(ValueError):
+        SimProfiler(Simulator(), sample_heap_every=0)

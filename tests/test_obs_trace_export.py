@@ -1,0 +1,168 @@
+"""Perfetto export, span pairing, and flight-recorder ring tests."""
+
+import json
+
+import pytest
+
+from repro.obs.perfetto import to_perfetto, to_trace_events, write_trace
+from repro.sim.engine import Simulator
+from repro.sim.tracing import Tracer
+
+
+def make_tracer(max_records=1_000_000):
+    sim = Simulator()
+    return sim, Tracer(sim, enabled=True, max_records=max_records)
+
+
+class TestSpans:
+    def test_begin_end_pair_produces_duration(self):
+        sim, tracer = make_tracer()
+        span = tracer.begin("nic", "dma", packet=1)
+        assert span > 0
+        sim.at(5e-6, lambda: None)
+        sim.run()
+        duration = tracer.end(span, ok=True)
+        assert duration == pytest.approx(5e-6)
+        assert tracer.open_spans == 0
+        phases = [r.phase for r in tracer.records]
+        assert phases == ["B", "E"]
+
+    def test_disabled_begin_returns_zero_and_end_is_noop(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=False)
+        span = tracer.begin("nic", "dma")
+        assert span == 0
+        assert tracer.end(span) == 0.0
+        assert tracer.records == []
+
+    def test_unknown_span_id_is_noop(self):
+        _, tracer = make_tracer()
+        assert tracer.end(12345) == 0.0
+        assert tracer.records == []
+
+    def test_concurrent_spans_are_independent(self):
+        sim, tracer = make_tracer()
+        a = tracer.begin("nic", "dma")
+        b = tracer.begin("cpu0", "process")
+        assert a != b
+        assert tracer.open_spans == 2
+        tracer.end(b)
+        assert tracer.open_spans == 1
+        tracer.end(a)
+        assert tracer.open_spans == 0
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_newest_oldest_first_order(self):
+        _, tracer = make_tracer(max_records=3)
+        with pytest.warns(RuntimeWarning, match="tracer ring full"):
+            for i in range(10):
+                tracer.emit("c", "e", i=i)
+        assert len(tracer) == 3
+        assert [r.fields["i"] for r in tracer.records] == [7, 8, 9]
+        assert tracer.dropped == 7
+
+    def test_drop_warning_fires_once(self):
+        import warnings as _warnings
+
+        _, tracer = make_tracer(max_records=1)
+        with pytest.warns(RuntimeWarning):
+            tracer.emit("c", "a")
+            tracer.emit("c", "b")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            tracer.emit("c", "c")  # second eviction: no new warning
+        assert tracer.dropped == 2
+
+    def test_clear_resets_drop_state(self):
+        _, tracer = make_tracer(max_records=1)
+        with pytest.warns(RuntimeWarning):
+            tracer.emit("c", "a")
+            tracer.emit("c", "b")
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert tracer.records == []
+
+
+class TestPerfettoExport:
+    def test_document_round_trips_through_json(self):
+        sim, tracer = make_tracer()
+        tracer.emit("nic", "rx", seq=1)
+        span = tracer.begin("nic", "dma")
+        sim.at(2e-6, lambda: None)
+        sim.run()
+        tracer.end(span)
+        doc = json.loads(json.dumps(to_perfetto(tracer)))
+        assert "traceEvents" in doc
+        assert doc["displayTimeUnit"] == "ns"
+
+    def test_b_e_pair_collapses_to_complete_event(self):
+        sim, tracer = make_tracer()
+        span = tracer.begin("nic", "dma", packet=7)
+        sim.at(3e-6, lambda: None)
+        sim.run()
+        tracer.end(span, bytes=4096)
+        events = to_trace_events(tracer.records)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 1
+        (x,) = xs
+        assert x["name"] == "dma"
+        assert x["ts"] == pytest.approx(0.0)
+        assert x["dur"] == pytest.approx(3.0)  # µs
+        # args merged from begin and end; internal dur key stripped
+        assert x["args"]["packet"] == 7
+        assert x["args"]["bytes"] == 4096
+        assert "dur" not in x["args"]
+
+    def test_instants_and_metadata(self):
+        _, tracer = make_tracer()
+        tracer.emit("nic", "drop", seq=3)
+        events = to_trace_events(tracer.records)
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {m["name"] for m in metas} == {"process_name", "thread_name"}
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["args"]["seq"] == 3
+
+    def test_components_get_distinct_named_threads(self):
+        _, tracer = make_tracer()
+        tracer.emit("nic", "a")
+        tracer.emit("cpu0", "b")
+        events = to_trace_events(tracer.records)
+        thread_names = {e["args"]["name"]: e["tid"] for e in events
+                        if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert set(thread_names) == {"nic", "cpu0"}
+        assert thread_names["nic"] != thread_names["cpu0"]
+
+    def test_open_span_exported_as_unfinished_begin(self):
+        _, tracer = make_tracer()
+        tracer.begin("nic", "dma")
+        events = to_trace_events(tracer.records)
+        assert [e["ph"] for e in events if e["ph"] in "BXE"] == ["B"]
+
+    def test_x_records_pass_through(self):
+        _, tracer = make_tracer()
+        tracer.complete("iommu", "translate", start=1e-6, duration=2e-6)
+        events = to_trace_events(tracer.records)
+        (x,) = [e for e in events if e["ph"] == "X"]
+        assert x["ts"] == pytest.approx(1.0)
+        assert x["dur"] == pytest.approx(2.0)
+
+    def test_non_primitive_args_stringified(self):
+        _, tracer = make_tracer()
+        tracer.emit("nic", "rx", obj=object())
+        doc = to_perfetto(tracer)
+        json.dumps(doc)  # must not raise
+        (inst,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert isinstance(inst["args"]["obj"], str)
+
+    def test_write_trace_produces_loadable_file(self, tmp_path):
+        sim, tracer = make_tracer()
+        span = tracer.begin("nic", "dma")
+        sim.at(1e-6, lambda: None)
+        sim.run()
+        tracer.end(span)
+        out = write_trace(tmp_path / "trace.json", tracer)
+        doc = json.loads(out.read_text())
+        assert any(e["ph"] == "X" and e["name"] == "dma"
+                   for e in doc["traceEvents"])

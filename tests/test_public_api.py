@@ -24,6 +24,7 @@ def test_top_level_exports_resolve(name):
     "repro.transport",
     "repro.workload",
     "repro.core",
+    "repro.obs",
     "repro.analysis",
     "repro.cli",
 ])
@@ -36,7 +37,7 @@ def test_subpackage_all_exports_resolve(module):
 def test_all_lists_are_sorted_and_unique():
     for module in ("repro", "repro.sim", "repro.host", "repro.net",
                    "repro.transport", "repro.workload", "repro.core",
-                   "repro.analysis"):
+                   "repro.obs", "repro.analysis"):
         exported = importlib.import_module(module).__all__
         assert len(exported) == len(set(exported)), module
         assert list(exported) == sorted(exported), module

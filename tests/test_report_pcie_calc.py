@@ -5,7 +5,12 @@ import json
 
 import pytest
 
-from repro.analysis.report import load_results, render_report, write_report
+from repro.analysis.report import (
+    load_results,
+    metrics_section,
+    render_report,
+    write_report,
+)
 from repro.host.pcie import pcie_goodput_bps, pcie_raw_bps
 
 
@@ -63,6 +68,34 @@ class TestReport:
         path = write_report(tmp_path)
         assert path.name == "REPORT.md"
         assert "figure3" in path.read_text()
+
+    def test_metrics_section_renders_headline_counters(self):
+        snapshot = {
+            "counters": {"nic.dropped_packets": 42,
+                         "transport.retransmissions": 7},
+            "gauges": {"nic.drop_rate": 0.015,
+                       "host.iotlb_misses_per_packet": 3.2,
+                       "memory.bandwidth_GBps": 31.5},
+            "histograms": {"nic.host_delay_us": {
+                "count": 100, "p50": 4.0, "p99": 19.0}},
+            "meta": {"params": {"cores": 12, "iommu": True}},
+        }
+        text = "\n".join(metrics_section(snapshot))
+        assert "| NIC drop rate | 0.015 |" in text
+        assert "| IOTLB misses/packet | 3.2 |" in text
+        assert "| host delay p99 (us) | 19 |" in text
+        assert "cores=12" in text
+
+    def test_write_report_picks_up_metrics_json(self, tmp_path):
+        (tmp_path / "figure3.json").write_text(
+            json.dumps(sample_payload()))
+        (tmp_path / "metrics.json").write_text(json.dumps({
+            "counters": {"nic.dropped_packets": 5},
+            "gauges": {}, "histograms": {}, "meta": {},
+        }))
+        text = write_report(tmp_path).read_text()
+        assert "## Metrics snapshot" in text
+        assert "| dropped packets | 5 |" in text
 
 
 class TestPcieCalculator:

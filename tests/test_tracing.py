@@ -1,5 +1,7 @@
 """Unit tests for the tracing facility."""
 
+import pytest
+
 from repro.sim import Simulator, Tracer
 from repro.sim.tracing import TraceRecord
 
@@ -36,9 +38,11 @@ def test_filter_by_component_and_event():
 def test_max_records_cap():
     sim = Simulator()
     tracer = Tracer(sim, enabled=True, max_records=3)
-    for i in range(10):
-        tracer.emit("x", "e", i=i)
+    with pytest.warns(RuntimeWarning, match="tracer ring full"):
+        for i in range(10):
+            tracer.emit("x", "e", i=i)
     assert len(tracer.records) == 3
+    assert tracer.dropped == 7
 
 
 def test_sink_receives_all_records_despite_cap():
@@ -46,8 +50,9 @@ def test_sink_receives_all_records_despite_cap():
     tracer = Tracer(sim, enabled=True, max_records=1)
     seen = []
     tracer.add_sink(seen.append)
-    tracer.emit("x", "a")
-    tracer.emit("x", "b")
+    with pytest.warns(RuntimeWarning, match="tracer ring full"):
+        tracer.emit("x", "a")
+        tracer.emit("x", "b")
     assert len(seen) == 2
     assert len(tracer.records) == 1
 
