@@ -9,7 +9,6 @@ IOMMU-ON operating point and shows drops persist across targets.
 
 import dataclasses
 
-from repro.core.config import SwiftConfig
 from repro.core.experiment import run_experiment
 from repro.core.sweep import baseline_config
 

@@ -36,11 +36,14 @@ from repro.core.config import (
     SwiftConfig,
     WorkloadConfig,
 )
+from repro.core.cache import ResultCache
 from repro.core.experiment import ExperimentHandle, run_experiment
 from repro.core.model import ThroughputModel, modeled_app_throughput_bps
-from repro.core.results import ExperimentResult, ResultTable
+from repro.core.parallel import SweepRunError
+from repro.core.results import ExperimentResult, FailedRun, ResultTable
 from repro.core.sweep import (
     baseline_config,
+    run_sweep,
     sweep_antagonist_cores,
     sweep_receiver_cores,
     sweep_region_size,
@@ -55,6 +58,7 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentHandle",
     "ExperimentResult",
+    "FailedRun",
     "HostConfig",
     "IommuConfig",
     "LinkConfig",
@@ -62,15 +66,18 @@ __all__ = [
     "MetricsRegistry",
     "NicConfig",
     "PcieConfig",
+    "ResultCache",
     "ResultTable",
     "SimConfig",
     "SimProfiler",
+    "SweepRunError",
     "SwiftConfig",
     "ThroughputModel",
     "WorkloadConfig",
     "baseline_config",
     "modeled_app_throughput_bps",
     "run_experiment",
+    "run_sweep",
     "sweep_antagonist_cores",
     "sweep_receiver_cores",
     "sweep_region_size",

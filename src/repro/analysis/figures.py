@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 from repro.analysis.series import Series, series_from_table
 from repro.analysis.text_plots import line_plot, scatter_plot
 from repro.core import calibration as cal
+from repro.core.cache import ResultCache
 from repro.core.config import ExperimentConfig
 from repro.core.model import ThroughputModel
 from repro.core.results import ResultTable
@@ -152,7 +153,8 @@ def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
 # ---------------------------------------------------------------------------
 
 def figure1(n_hosts: int = 60, seed: int = 7,
-            quality: str = "quick") -> FigureData:
+            quality: str = "quick",
+            workers: int | str | None = None) -> FigureData:
     """Fig. 1: host drop rate vs access-link utilization over a fleet.
 
     Returns the scatter plus summary notes: the Spearman correlation
@@ -161,7 +163,7 @@ def figure1(n_hosts: int = 60, seed: int = 7,
     """
     warmup, duration = _windows(quality)
     sampler = FleetSampler(seed=seed, warmup=warmup, duration=duration)
-    samples: List[FleetSample] = sampler.run(n_hosts)
+    samples: List[FleetSample] = sampler.run(n_hosts, workers=workers)
     points = [(s.link_utilization, s.drop_rate) for s in samples]
     droppers = [s for s in samples if s.drop_rate > 1e-4]
     low_util_droppers = [
@@ -216,7 +218,9 @@ def _core_sweep_panels(
 
 
 def figure3(quality: str = "quick",
-            cores: Sequence[int] | None = None) -> FigureData:
+            cores: Sequence[int] | None = None,
+            workers: int | str | None = None,
+            cache: ResultCache | None = None) -> FigureData:
     """Fig. 3: throughput / drop % / IOTLB misses vs receiver cores,
     IOMMU ON vs OFF, plus the Little's-law model line."""
     warmup, duration = _windows(quality)
@@ -224,7 +228,8 @@ def figure3(quality: str = "quick",
         (2, 6, 8, 10, 12, 16) if quality == "quick"
         else (2, 4, 6, 8, 10, 12, 14, 16))
     base = baseline_config(warmup=warmup, duration=duration)
-    table = sweep_receiver_cores(cores=cores, base=base)
+    table = sweep_receiver_cores(cores=cores, base=base,
+                                 workers=workers, cache=cache)
 
     tput_on = series_from_table(
         table, "cores", "app_throughput_gbps",
@@ -273,7 +278,9 @@ def figure3(quality: str = "quick",
 
 
 def figure4(quality: str = "quick",
-            cores: Sequence[int] | None = None) -> FigureData:
+            cores: Sequence[int] | None = None,
+            workers: int | str | None = None,
+            cache: ResultCache | None = None) -> FigureData:
     """Fig. 4: hugepages enabled vs disabled (IOMMU always on)."""
     warmup, duration = _windows(quality)
     cores = tuple(cores) if cores else (
@@ -281,9 +288,11 @@ def figure4(quality: str = "quick",
         else (2, 4, 6, 8, 10, 12, 14, 16))
     base = baseline_config(warmup=warmup, duration=duration)
     table_on = sweep_receiver_cores(
-        cores=cores, iommu_states=(True,), base=base, hugepages=True)
+        cores=cores, iommu_states=(True,), base=base, hugepages=True,
+        workers=workers, cache=cache)
     table_off = sweep_receiver_cores(
-        cores=cores, iommu_states=(True,), base=base, hugepages=False)
+        cores=cores, iommu_states=(True,), base=base, hugepages=False,
+        workers=workers, cache=cache)
     merged = ResultTable(list(table_on) + list(table_off))
 
     tput_hp = series_from_table(
@@ -325,11 +334,14 @@ def figure4(quality: str = "quick",
 # ---------------------------------------------------------------------------
 
 def figure5(quality: str = "quick",
-            region_mb: Sequence[int] = (4, 8, 12, 16)) -> FigureData:
+            region_mb: Sequence[int] = (4, 8, 12, 16),
+            workers: int | str | None = None,
+            cache: ResultCache | None = None) -> FigureData:
     """Fig. 5: provisioning for larger BDPs worsens IOMMU contention."""
     warmup, duration = _windows(quality)
     base = baseline_config(warmup=warmup, duration=duration)
-    table = sweep_region_size(region_mb=region_mb, base=base)
+    table = sweep_region_size(region_mb=region_mb, base=base,
+                              workers=workers, cache=cache)
 
     tput_on = series_from_table(
         table, "rx_region_mb", "app_throughput_gbps",
@@ -365,14 +377,17 @@ def figure5(quality: str = "quick",
 # ---------------------------------------------------------------------------
 
 def figure6(quality: str = "quick",
-            antagonists: Sequence[int] | None = None) -> FigureData:
+            antagonists: Sequence[int] | None = None,
+            workers: int | str | None = None,
+            cache: ResultCache | None = None) -> FigureData:
     """Fig. 6: throughput and memory bandwidth vs STREAM cores."""
     warmup, duration = _windows(quality)
     antagonists = tuple(antagonists) if antagonists else (
         (0, 2, 6, 10, 15) if quality == "quick"
         else (0, 1, 2, 4, 6, 8, 10, 12, 14, 15))
     base = baseline_config(warmup=warmup, duration=duration)
-    table = sweep_antagonist_cores(antagonists=antagonists, base=base)
+    table = sweep_antagonist_cores(antagonists=antagonists, base=base,
+                                   workers=workers, cache=cache)
 
     def s(metric: str, label: str, iommu: bool) -> Series:
         return series_from_table(

@@ -13,7 +13,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from repro.core.config import CpuConfig, ExperimentConfig
+from repro.core.config import CpuConfig
 from repro.core.experiment import run_experiment
 from repro.core.model import ThroughputModel
 from repro.core.sweep import baseline_config

@@ -9,9 +9,15 @@ Commands:
 - ``model``   — evaluate the analytical model at a grid of miss rates
 - ``trace``   — run one experiment traced, export Perfetto JSON
 - ``profile`` — run one experiment under the simulation profiler
+- ``cache``   — inspect or clear the on-disk result cache
 
 ``run`` and ``sweep`` accept ``--metrics-out metrics.json`` to dump the
 full metrics-registry snapshot (every component counter/gauge/histogram).
+
+``sweep``, ``figure``, and ``fleet`` accept ``--workers N|auto`` to fan
+independent runs out to worker processes (results are bit-identical to
+serial execution); ``sweep`` and ``figure`` memoize results in the
+on-disk cache by default (``--no-cache`` / ``--cache-dir`` to control).
 
 Every command prints to stdout and returns a process exit code, so the
 CLI composes with shell pipelines and CI.
@@ -36,6 +42,7 @@ from repro.core.config import (
 )
 from repro.core.experiment import run_experiment
 from repro.core.model import ThroughputModel
+from repro.core.results import FailedRun
 from repro.core.sweep import (
     baseline_config,
     sweep_antagonist_cores,
@@ -44,6 +51,38 @@ from repro.core.sweep import (
 )
 
 __all__ = ["build_parser", "main"]
+
+
+def _workers_arg(value: str):
+    """``--workers`` parser: a positive int or the string ``auto``."""
+    if value == "auto":
+        return value
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1 or 'auto'")
+    return count
+
+
+def _parallel_args(parser: argparse.ArgumentParser,
+                   cache_flags: bool = True) -> None:
+    parser.add_argument("--workers", type=_workers_arg, default=None,
+                        metavar="N|auto",
+                        help="run experiments in N worker processes "
+                             "('auto' = cpu_count - 1; default serial)")
+    if cache_flags:
+        parser.add_argument("--no-cache", action="store_true",
+                            help="disable the on-disk result cache")
+        parser.add_argument("--cache-dir", default=None,
+                            help="result cache directory (default "
+                                 "$REPRO_CACHE_DIR or ~/.cache/repro)")
+
+
+def _cache_from_args(args: argparse.Namespace):
+    from repro.core.cache import ResultCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def _host_args(parser: argparse.ArgumentParser) -> None:
@@ -131,19 +170,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     snapshots: Optional[list] = [] if args.metrics_out else None
+    cache = _cache_from_args(args)
+    run_opts = dict(base=base, snapshots_out=snapshots,
+                    workers=args.workers, timeout=args.timeout_s,
+                    cache=cache)
     if args.axis == "cores":
-        table = sweep_receiver_cores(cores=tuple(args.values), base=base,
-                                     snapshots_out=snapshots)
+        table = sweep_receiver_cores(cores=tuple(args.values), **run_opts)
         x_key = "cores"
     elif args.axis == "region":
         table = sweep_region_size(
-            region_mb=tuple(int(v) for v in args.values), base=base,
-            snapshots_out=snapshots)
+            region_mb=tuple(int(v) for v in args.values), **run_opts)
         x_key = "rx_region_mb"
     else:
         table = sweep_antagonist_cores(
-            antagonists=tuple(int(v) for v in args.values), base=base,
-            snapshots_out=snapshots)
+            antagonists=tuple(int(v) for v in args.values), **run_opts)
         x_key = "antagonist_cores"
     header = (f"{x_key:>16} {'iommu':>6} {'tput Gbps':>10} "
               f"{'drop %':>7} {'misses/pkt':>11} {'mem GB/s':>9}")
@@ -151,12 +191,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print("-" * len(header))
     for result in table:
         m = result.metrics
+        if isinstance(result, FailedRun):
+            print(f"{result.params[x_key]:>16} "
+                  f"{str(result.params['iommu']):>6} "
+                  f"  FAILED ({result.kind}): {result.error}")
+            continue
         print(f"{result.params[x_key]:>16} "
               f"{str(result.params['iommu']):>6} "
               f"{m['app_throughput_gbps']:>10.1f} "
               f"{m['drop_rate'] * 100:>7.2f} "
               f"{m['iotlb_misses_per_packet']:>11.2f} "
               f"{m['memory_total_GBps']:>9.1f}")
+    if cache is not None and cache.hits:
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es)")
     if args.csv:
         table.to_csv(args.csv)
         print(f"wrote {args.csv}")
@@ -169,13 +216,16 @@ def cmd_figure(args: argparse.Namespace) -> int:
     from repro.analysis import figures
     from repro.analysis.compare import check_figure
 
+    cache = _cache_from_args(args)
+    opts = dict(quality=args.quality, workers=args.workers, cache=cache)
     fn = {
         "1": lambda: figures.figure1(n_hosts=args.hosts,
-                                     quality=args.quality),
-        "3": lambda: figures.figure3(quality=args.quality),
-        "4": lambda: figures.figure4(quality=args.quality),
-        "5": lambda: figures.figure5(quality=args.quality),
-        "6": lambda: figures.figure6(quality=args.quality),
+                                     quality=args.quality,
+                                     workers=args.workers),
+        "3": lambda: figures.figure3(**opts),
+        "4": lambda: figures.figure4(**opts),
+        "5": lambda: figures.figure5(**opts),
+        "6": lambda: figures.figure6(**opts),
     }[args.number]
     fig = fn()
     print(fig.render())
@@ -196,7 +246,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     sampler = FleetSampler(seed=args.seed,
                            warmup=args.warmup_ms * 1e-3,
                            duration=args.duration_ms * 1e-3)
-    samples = sampler.run(args.hosts)
+    samples = sampler.run(args.hosts, workers=args.workers)
     points = [(s.link_utilization, s.drop_rate) for s in samples]
     print(scatter_plot(points, title="fleet drop rate vs utilization",
                        x_label="link utilization", y_label="drop rate"))
@@ -254,6 +304,21 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.core.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache dir : {stats.path}")
+        print(f"entries   : {stats.entries}")
+        print(f"size      : {stats.total_bytes / 1024:.1f} KiB")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+    return 0
+
+
 def cmd_model(args: argparse.Namespace) -> int:
     config = baseline_config()
     config = dataclasses.replace(
@@ -292,6 +357,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=1)
     p_sweep.add_argument("--warmup-ms", type=float, default=5.0)
     p_sweep.add_argument("--duration-ms", type=float, default=10.0)
+    p_sweep.add_argument("--timeout-s", type=float, default=None,
+                         help="per-run wall-clock budget; over-budget "
+                              "runs become FAILED rows, not aborts")
+    _parallel_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_trace = sub.add_parser(
@@ -320,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--hosts", type=int, default=60,
                        help="fleet size for figure 1")
     p_fig.add_argument("--out", help="directory for CSV export")
+    _parallel_args(p_fig)
     p_fig.set_defaults(func=cmd_figure)
 
     p_fleet = sub.add_parser("fleet", help="sample a fleet (Fig. 1)")
@@ -327,7 +397,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--seed", type=int, default=7)
     p_fleet.add_argument("--warmup-ms", type=float, default=3.0)
     p_fleet.add_argument("--duration-ms", type=float, default=6.0)
+    _parallel_args(p_fleet, cache_flags=False)
     p_fleet.set_defaults(func=cmd_fleet)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache")
+    p_cache.add_argument("cache_command", choices=("stats", "clear"))
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="cache directory (default $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_model = sub.add_parser("model",
                              help="evaluate the analytical bound")

@@ -1,0 +1,175 @@
+"""On-disk experiment result cache.
+
+Every experiment is a pure function of its :class:`ExperimentConfig`
+(the simulation derives all randomness from ``config.sim.seed``), so
+results can be memoized on disk: re-running ``figures`` / ``sweep`` /
+``report`` after an analysis-only change is near-instant.
+
+Keys are the SHA-256 of the canonicalized config dataclass (a
+``sort_keys`` JSON dump of ``dataclasses.asdict``) salted with a code
+version, so any config change — however deep in the nesting — misses,
+and a simulator-semantics change invalidates the whole cache by
+bumping :data:`CODE_VERSION`.
+
+Entries are single JSON files under ``<cache_dir>/<aa>/<digest>.json``
+(two-level fan-out keeps directories small), written atomically via a
+rename so concurrent sweep workers never observe torn entries.  The
+cache directory resolves from, in order: an explicit ``--cache-dir`` /
+constructor argument, ``$REPRO_CACHE_DIR``, ``$XDG_CACHE_HOME/repro``,
+``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.core.config import ExperimentConfig
+from repro.core.results import ExperimentResult
+
+__all__ = [
+    "CODE_VERSION",
+    "CacheStats",
+    "CachedRun",
+    "ResultCache",
+    "config_digest",
+    "default_cache_dir",
+]
+
+#: Code-version salt folded into every cache key.  Bump whenever a
+#: change alters what a given config simulates (engine semantics,
+#: calibration constants, metric definitions) — analysis-only changes
+#: must NOT bump it, so figure re-renders stay cached.
+CODE_VERSION = "repro-1.0.0/cache-v1"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro`` > ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    root = Path(xdg) if xdg else Path.home() / ".cache"
+    return root / "repro"
+
+
+def config_digest(config: ExperimentConfig,
+                  salt: str = CODE_VERSION) -> str:
+    """Stable SHA-256 key for a config (canonical JSON + code salt)."""
+    payload = {
+        "salt": salt,
+        "transport": config.transport,
+        "config": dataclasses.asdict(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedRun:
+    """One cache hit: the result plus (optionally) its metrics snapshot."""
+
+    result: ExperimentResult
+    snapshot: Optional[dict]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregate cache state for ``repro cache stats``."""
+
+    path: str
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+
+
+class ResultCache:
+    """Config-keyed store of experiment results + metrics snapshots."""
+
+    def __init__(self, directory: str | Path | None = None,
+                 salt: str = CODE_VERSION):
+        self.directory = (Path(directory) if directory is not None
+                          else default_cache_dir())
+        self.salt = salt
+        #: Hit/miss counters for this process (reported by the CLI).
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / digest[:2] / f"{digest}.json"
+
+    def get(self, config: ExperimentConfig,
+            want_snapshot: bool = False) -> Optional[CachedRun]:
+        """The cached run for ``config``, or ``None`` on a miss.
+
+        A stored entry without a metrics snapshot does not satisfy a
+        ``want_snapshot`` lookup — the caller re-runs, and ``put``
+        upgrades the entry in place.
+        """
+        path = self._path(config_digest(config, self.salt))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if want_snapshot and payload.get("snapshot") is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        result = ExperimentResult(
+            params=payload["params"],
+            metrics=payload["metrics"],
+            message_latency_us=payload.get("message_latency_us", {}),
+        )
+        return CachedRun(result=result, snapshot=payload.get("snapshot"))
+
+    def put(self, config: ExperimentConfig, result: ExperimentResult,
+            snapshot: Optional[dict] = None) -> Path:
+        """Store (or upgrade) the entry for ``config``; returns its path."""
+        digest = config_digest(config, self.salt)
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "digest": digest,
+            "params": result.params,
+            "metrics": result.metrics,
+            "message_latency_us": result.message_latency_us,
+            "snapshot": snapshot,
+        }
+        # Atomic publish: a unique temp name per process, then rename,
+        # so parallel workers caching the same config cannot tear it.
+        tmp = path.with_name(f".{digest}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+        return path
+
+    def _entry_paths(self):
+        if not self.directory.is_dir():
+            return
+        for shard in sorted(self.directory.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.json"))
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        total_bytes = 0
+        for path in self._entry_paths():
+            entries += 1
+            total_bytes += path.stat().st_size
+        return CacheStats(path=str(self.directory), entries=entries,
+                          total_bytes=total_bytes, hits=self.hits,
+                          misses=self.misses)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

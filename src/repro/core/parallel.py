@@ -1,0 +1,227 @@
+"""Parallel experiment execution.
+
+Every paper figure is a sweep of 8–20 *independent* ``run_experiment``
+calls, so sweeps are embarrassingly parallel.  This module fans the
+runs out to a :class:`~concurrent.futures.ProcessPoolExecutor` while
+keeping the output bit-identical to a serial run:
+
+- each run derives **all** randomness from its own ``config.sim.seed``
+  (a fresh ``Simulator`` + ``RngRegistry`` per run, no module-level
+  RNG), so results do not depend on which process executes them;
+- results are reassembled in **submission order**, not completion
+  order, so the :class:`~repro.core.results.ResultTable` layout matches
+  the serial runner row for row;
+- pickling is exact for floats, so worker → parent transport does not
+  perturb a single bit.
+
+Failure semantics: a worker exception aborts the sweep with a
+:class:`SweepRunError` carrying the offending config; a per-run
+*timeout* instead yields a structured
+:class:`~repro.core.results.FailedRun` placeholder in the table, so one
+pathological operating point cannot sink a 20-run figure sweep.
+
+Serial execution (``workers=1``) goes through the same single-run
+worker function as the pool path — one code shape, one set of
+semantics — and is the in-process fallback wherever a pool is not
+worth its fork cost.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple, Union
+
+from repro.core.cache import ResultCache
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import run_experiment
+from repro.core.results import ExperimentResult, FailedRun
+
+__all__ = [
+    "RunOutcome",
+    "SweepRunError",
+    "resolve_workers",
+    "run_many",
+]
+
+Workers = Union[int, str, None]
+
+
+class SweepRunError(RuntimeError):
+    """A sweep run raised: carries the offending config and its index."""
+
+    def __init__(self, index: int, config: ExperimentConfig,
+                 message: str, worker_traceback: str = ""):
+        super().__init__(
+            f"sweep run #{index} failed: {message} "
+            f"(config: {config.describe()})")
+        self.index = index
+        self.config = config
+        self.worker_traceback = worker_traceback
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One finished run: its table position, result, and provenance."""
+
+    index: int
+    result: ExperimentResult
+    #: Full metrics-registry snapshot, when requested (or cached).
+    snapshot: Optional[dict]
+    #: True when the result came from the on-disk cache, not a run.
+    cached: bool = False
+
+
+def resolve_workers(workers: Workers) -> int:
+    """Normalize a ``workers`` argument to a concrete process count.
+
+    ``None``/``0``/``1`` mean serial; ``"auto"`` resolves to
+    ``os.cpu_count() - 1`` (never below 1) so a sweep leaves one core
+    for the parent and the rest of the machine.
+    """
+    if workers is None or workers == 0:
+        return 1
+    if workers == "auto":
+        return max(1, (os.cpu_count() or 2) - 1)
+    count = int(workers)
+    if count < 1:
+        raise ValueError(f"workers must be >= 1 or 'auto', got {workers!r}")
+    return count
+
+
+class _RunTimeout(Exception):
+    """Internal: raised by the SIGALRM handler inside a worker."""
+
+
+def _raise_timeout(signum, frame):
+    raise _RunTimeout()
+
+
+def _execute(index: int, config: ExperimentConfig, want_snapshot: bool,
+             timeout: Optional[float]) -> Tuple[int, tuple]:
+    """Run one experiment (worker side — also the serial code path).
+
+    Returns ``(index, payload)`` where payload is one of
+    ``("ok", result, snapshot)``, ``("timeout", failed_run)``, or
+    ``("error", message, traceback_text)``.  Exceptions never escape:
+    they are serialized so the parent can attach the config.
+    """
+    start = time.perf_counter()
+    # Enforce the per-run timeout with a real interval timer where the
+    # platform has one (ProcessPoolExecutor workers are single-threaded
+    # main threads, so SIGALRM is safe); elsewhere fall back to a
+    # post-hoc wall-clock check.
+    arm = timeout is not None and hasattr(signal, "SIGALRM")
+    try:
+        if arm:
+            previous = signal.signal(signal.SIGALRM, _raise_timeout)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            handles: list = []
+            result = run_experiment(config, handle_out=handles)
+            snapshot = (handles[0].metrics_snapshot()
+                        if want_snapshot else None)
+        finally:
+            if arm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                signal.signal(signal.SIGALRM, previous)
+    except _RunTimeout:
+        elapsed = time.perf_counter() - start
+        failed = FailedRun.from_config(
+            config, kind="timeout",
+            error=f"run exceeded {timeout:g}s timeout",
+            elapsed_s=elapsed)
+        return index, ("timeout", failed)
+    except Exception as exc:  # serialized for the parent to re-raise
+        return index, ("error", repr(exc), traceback.format_exc())
+    elapsed = time.perf_counter() - start
+    if timeout is not None and not arm and elapsed > timeout:
+        failed = FailedRun.from_config(
+            config, kind="timeout",
+            error=f"run exceeded {timeout:g}s timeout", elapsed_s=elapsed)
+        return index, ("timeout", failed)
+    return index, ("ok", result, snapshot)
+
+
+def run_many(
+    configs: Iterable[ExperimentConfig],
+    *,
+    workers: Workers = None,
+    timeout: Optional[float] = None,
+    want_snapshots: bool = False,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[int, ExperimentResult], None]] = None,
+) -> List[RunOutcome]:
+    """Run every config and return outcomes in input order.
+
+    ``progress`` is invoked once per finished run with the run's table
+    index and result — in completion order under a pool, which is table
+    order only for serial execution.
+    """
+    configs = list(configs)
+    outcomes: List[Optional[RunOutcome]] = [None] * len(configs)
+
+    pending: List[int] = []
+    for index, config in enumerate(configs):
+        hit = (cache.get(config, want_snapshot=want_snapshots)
+               if cache is not None else None)
+        if hit is not None:
+            outcomes[index] = RunOutcome(
+                index=index, result=hit.result,
+                snapshot=hit.snapshot if want_snapshots else None,
+                cached=True)
+            if progress is not None:
+                progress(index, hit.result)
+        else:
+            pending.append(index)
+
+    # Snapshots are computed in-worker whenever they are wanted *or*
+    # cached, so a later `--metrics-out` rerun can hit the same entry.
+    want = want_snapshots or cache is not None
+
+    def finalize(index: int, payload: tuple) -> None:
+        if payload[0] == "error":
+            raise SweepRunError(index, configs[index], payload[1],
+                                worker_traceback=payload[2])
+        if payload[0] == "timeout":
+            outcomes[index] = RunOutcome(index=index, result=payload[1],
+                                         snapshot=None)
+        else:
+            _, result, snapshot = payload
+            if cache is not None:
+                cache.put(configs[index], result, snapshot)
+            outcomes[index] = RunOutcome(
+                index=index, result=result,
+                snapshot=snapshot if want_snapshots else None)
+        if progress is not None:
+            progress(index, outcomes[index].result)
+
+    n_workers = min(resolve_workers(workers), max(1, len(pending)))
+    if n_workers == 1:
+        for index in pending:
+            _, payload = _execute(index, configs[index], want, timeout)
+            finalize(index, payload)
+    elif pending:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {
+                pool.submit(_execute, index, configs[index], want, timeout)
+                for index in pending
+            }
+            try:
+                while futures:
+                    done, futures = wait(futures,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, payload = future.result()
+                        finalize(index, payload)
+            except BaseException:
+                # A failed run (or Ctrl-C) aborts the sweep: drop the
+                # queued work so shutdown does not run it to completion.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+    return outcomes  # type: ignore[return-value]

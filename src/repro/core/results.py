@@ -8,7 +8,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Sequence
 
-__all__ = ["ExperimentResult", "ResultTable"]
+__all__ = ["ExperimentResult", "FailedRun", "ResultTable"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,38 @@ class ExperimentResult:
         return row
 
 
+@dataclass(frozen=True)
+class FailedRun(ExperimentResult):
+    """Structured placeholder for a run that produced no metrics.
+
+    Parallel sweeps insert one of these (instead of aborting the whole
+    sweep) when a run exceeds its timeout.  The ``params`` carry the
+    offending config's description plus ``failed=True`` so table
+    filters and CSV exports keep working; ``metrics`` is empty.
+    """
+
+    #: Human-readable cause ("run exceeded 2s timeout", exception repr).
+    error: str = ""
+    #: Failure class: ``"timeout"`` or ``"error"``.
+    kind: str = "error"
+    #: Wall-clock seconds spent before the run was abandoned.
+    elapsed_s: float = 0.0
+
+    @classmethod
+    def from_config(cls, config, *, kind: str, error: str,
+                    elapsed_s: float = 0.0) -> "FailedRun":
+        params = dict(config.describe())
+        params["failed"] = True
+        return cls(params=params, metrics={}, message_latency_us={},
+                   error=error, kind=kind, elapsed_s=elapsed_s)
+
+    def as_flat_dict(self) -> Dict[str, Any]:
+        row = super().as_flat_dict()
+        row["error"] = self.error
+        row["failure_kind"] = self.kind
+        return row
+
+
 class ResultTable:
     """An ordered collection of results with CSV/JSON export."""
 
@@ -58,6 +90,22 @@ class ResultTable:
 
     def __iter__(self):
         return iter(self.results)
+
+    def __eq__(self, other: object) -> bool:
+        """Exact equality of the ordered result records — the property
+        the parallel runner guarantees against the serial one."""
+        if not isinstance(other, ResultTable):
+            return NotImplemented
+        return self.results == other.results
+
+    def failures(self) -> List[FailedRun]:
+        """The runs that timed out or crashed (parallel sweeps)."""
+        return [r for r in self.results if isinstance(r, FailedRun)]
+
+    def ok(self) -> "ResultTable":
+        """A view with failed runs filtered out."""
+        return ResultTable(
+            [r for r in self.results if not isinstance(r, FailedRun)])
 
     def column(self, key: str) -> List[Any]:
         return [r.value(key) for r in self.results]

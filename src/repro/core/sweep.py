@@ -9,14 +9,14 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from repro.core.cache import ResultCache
 from repro.core.config import (
     CpuConfig,
     ExperimentConfig,
     HostConfig,
-    IommuConfig,
     SimConfig,
 )
-from repro.core.experiment import run_experiment
+from repro.core.parallel import Workers, run_many
 from repro.core.results import ExperimentResult, ResultTable
 
 __all__ = [
@@ -62,24 +62,33 @@ def run_sweep(
     configs: Iterable[ExperimentConfig],
     progress: Optional[Callable[[int, ExperimentResult], None]] = None,
     snapshots_out: Optional[list] = None,
+    *,
+    workers: Workers = None,
+    timeout: Optional[float] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ResultTable:
-    """Run each config and collect results.
+    """Run each config and collect results, optionally in parallel.
 
     ``snapshots_out``, if given, receives one full metrics-registry
     snapshot (``ExperimentHandle.metrics_snapshot``) per run, in table
     order — the payload behind ``sweep --metrics-out``.
+
+    ``workers`` fans runs out to worker processes (``"auto"`` =
+    ``cpu_count - 1``); the resulting table is bit-identical to a
+    serial run because every run seeds its own RNGs from its config —
+    see :mod:`repro.core.parallel`.  ``timeout`` bounds each run's wall
+    clock, replacing over-budget runs with a
+    :class:`~repro.core.results.FailedRun` placeholder.  ``cache``
+    memoizes results on disk keyed by the config digest.
     """
+    outcomes = run_many(configs, workers=workers, timeout=timeout,
+                        want_snapshots=snapshots_out is not None,
+                        cache=cache, progress=progress)
     table = ResultTable()
-    for index, config in enumerate(configs):
+    for outcome in outcomes:
+        table.append(outcome.result)
         if snapshots_out is not None:
-            handles: list = []
-            result = run_experiment(config, handle_out=handles)
-            snapshots_out.append(handles[0].metrics_snapshot())
-        else:
-            result = run_experiment(config)
-        table.append(result)
-        if progress is not None:
-            progress(index, result)
+            snapshots_out.append(outcome.snapshot)
     return table
 
 
@@ -90,6 +99,10 @@ def sweep_receiver_cores(
     hugepages: Optional[bool] = None,
     progress=None,
     snapshots_out: Optional[list] = None,
+    *,
+    workers: Workers = None,
+    timeout: Optional[float] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ResultTable:
     """Figures 3 and 4: throughput/drops/misses vs receiver cores."""
     base = base or baseline_config()
@@ -99,7 +112,8 @@ def sweep_receiver_cores(
     for enabled in iommu_states:
         for n in cores:
             configs.append(_with_cores(_with_iommu(base, enabled), n))
-    return run_sweep(configs, progress, snapshots_out)
+    return run_sweep(configs, progress, snapshots_out,
+                     workers=workers, timeout=timeout, cache=cache)
 
 
 def sweep_region_size(
@@ -108,6 +122,10 @@ def sweep_region_size(
     base: Optional[ExperimentConfig] = None,
     progress=None,
     snapshots_out: Optional[list] = None,
+    *,
+    workers: Workers = None,
+    timeout: Optional[float] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ResultTable:
     """Figure 5: throughput/drops/misses vs Rx memory region size."""
     base = base or baseline_config()
@@ -117,7 +135,8 @@ def sweep_region_size(
         for enabled in iommu_states
         for mb in region_mb
     ]
-    return run_sweep(configs, progress, snapshots_out)
+    return run_sweep(configs, progress, snapshots_out,
+                     workers=workers, timeout=timeout, cache=cache)
 
 
 def sweep_antagonist_cores(
@@ -126,6 +145,10 @@ def sweep_antagonist_cores(
     base: Optional[ExperimentConfig] = None,
     progress=None,
     snapshots_out: Optional[list] = None,
+    *,
+    workers: Workers = None,
+    timeout: Optional[float] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ResultTable:
     """Figure 6: throughput/memory bandwidth/drops vs STREAM cores."""
     base = base or baseline_config()
@@ -134,4 +157,5 @@ def sweep_antagonist_cores(
         for enabled in iommu_states
         for n in antagonists
     ]
-    return run_sweep(configs, progress, snapshots_out)
+    return run_sweep(configs, progress, snapshots_out,
+                     workers=workers, timeout=timeout, cache=cache)

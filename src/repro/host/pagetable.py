@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Tuple
 
-from repro.host.addressing import PAGE_2M, PAGE_4K, Region
+from repro.host.addressing import PAGE_4K, Region
 
 __all__ = ["PageTable", "TranslationFault"]
 

@@ -18,7 +18,7 @@ With no profiler installed the engine's dispatch loop pays a single
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.sim.engine import Simulator
 

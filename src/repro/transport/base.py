@@ -10,7 +10,7 @@ signal extension all share this machinery.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Optional, Protocol
+from typing import Callable, Protocol
 
 from repro.net.packet import Ack, Packet
 from repro.sim.engine import Simulator

@@ -136,14 +136,26 @@ class FleetSampler:
         )
 
     def run(self, n_hosts: int,
-            progress: Optional[callable] = None) -> List[FleetSample]:
-        """Simulate ``n_hosts`` and return their scatter points."""
-        from repro.core.experiment import run_experiment
+            progress: Optional[callable] = None,
+            workers: int | str | None = None) -> List[FleetSample]:
+        """Simulate ``n_hosts`` and return their scatter points.
 
+        ``workers`` fans the per-host simulations out to worker
+        processes.  The configs are drawn serially from the sampler's
+        RNG *before* any run starts, so the population — and therefore
+        every sample — is identical whatever the worker count.
+        """
+        from repro.core.parallel import run_many
+
+        configs = [self.draw_config(index) for index in range(n_hosts)]
+        outcomes = run_many(
+            configs, workers=workers,
+            progress=(None if progress is None
+                      else lambda index, _result: progress(index + 1,
+                                                           n_hosts)))
         samples: List[FleetSample] = []
-        for index in range(n_hosts):
-            config = self.draw_config(index)
-            result = run_experiment(config)
+        for index, (config, outcome) in enumerate(zip(configs, outcomes)):
+            result = outcome.result
             samples.append(
                 FleetSample(
                     host_index=index,
@@ -156,6 +168,4 @@ class FleetSampler:
                     hugepages=config.host.hugepages,
                 )
             )
-            if progress is not None:
-                progress(index + 1, n_hosts)
         return samples

@@ -17,7 +17,6 @@ from typing import Dict, List, Optional
 from repro.core.config import ExperimentConfig
 from repro.host.host import ReceiverHost
 from repro.net.fabric import Fabric
-from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.sim.randoms import RngRegistry
 from repro.sim.tracing import Tracer

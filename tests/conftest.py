@@ -1,0 +1,15 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def isolated_result_cache(tmp_path, monkeypatch):
+    """Point the on-disk result cache at a per-test directory.
+
+    CLI commands cache results by default; tests must never read or
+    pollute the developer's real ``~/.cache/repro``.
+    """
+    cache_dir = tmp_path / "repro-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    return cache_dir

@@ -143,3 +143,63 @@ def test_fleet_command(capsys):
 def test_figure_choices_validated():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["figure", "2"])  # fig 2 is a diagram
+
+
+def test_workers_flag_parses():
+    args = build_parser().parse_args(["sweep", "cores", "2",
+                                      "--workers", "auto"])
+    assert args.workers == "auto"
+    args = build_parser().parse_args(["sweep", "cores", "2",
+                                      "--workers", "3"])
+    assert args.workers == 3
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "cores", "2",
+                                   "--workers", "0"])
+
+
+def test_sweep_parallel_matches_serial_output(capsys):
+    argv = ["sweep", "cores", "2", "--warmup-ms", "1",
+            "--duration-ms", "2", "--no-cache"]
+    assert main(argv) == 0
+    serial_out = capsys.readouterr().out
+    assert main(argv + ["--workers", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    assert parallel_out == serial_out
+
+
+def test_sweep_second_run_hits_cache(capsys):
+    argv = ["sweep", "antagonists", "0",
+            "--warmup-ms", "0.5", "--duration-ms", "1"]
+    assert main(argv) == 0
+    assert "cache:" not in capsys.readouterr().out  # cold: all misses
+    assert main(argv) == 0
+    assert "cache: 2 hit(s)" in capsys.readouterr().out
+
+
+def test_sweep_timeout_prints_failed_rows(capsys):
+    code = main(["sweep", "cores", "2", "--warmup-ms", "1",
+                 "--duration-ms", "2", "--no-cache",
+                 "--timeout-s", "0.0001"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("FAILED (timeout)") == 2
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    cache_dir = tmp_path / "cli-cache"
+    sweep = ["sweep", "antagonists", "0", "--warmup-ms", "0.5",
+             "--duration-ms", "1", "--cache-dir", str(cache_dir)]
+    assert main(sweep) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "entries   : 2" in out
+    assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+    assert "removed 2" in capsys.readouterr().out
+
+
+def test_fleet_workers_flag(capsys):
+    code = main(["fleet", "--hosts", "2", "--workers", "2",
+                 "--warmup-ms", "0.5", "--duration-ms", "1"])
+    assert code == 0
+    assert "hosts dropping" in capsys.readouterr().out

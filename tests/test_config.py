@@ -14,7 +14,6 @@ from repro.core.config import (
     LinkConfig,
     MemoryConfig,
     NicConfig,
-    PcieConfig,
     SimConfig,
     SwiftConfig,
     WorkloadConfig,

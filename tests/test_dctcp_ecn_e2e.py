@@ -1,6 +1,5 @@
 """End-to-end ECN behaviour: DCTCP vs fabric vs host congestion."""
 
-import dataclasses
 
 import pytest
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.sim import Event, Simulator
-from repro.sim.engine import SimulationError
+from repro.sim import Simulator
 
 
 def test_waiting_on_a_crashing_process_propagates():

@@ -1,7 +1,5 @@
 """Integration tests for the experiment runner, sweeps, and workload."""
 
-import dataclasses
-
 import pytest
 
 from repro.core.config import (
@@ -18,7 +16,6 @@ from repro.core.sweep import (
     sweep_receiver_cores,
     sweep_region_size,
 )
-from repro.workload.remote_read import RemoteReadWorkload
 
 
 def tiny_config(cores=4, senders=8, **kwargs):

@@ -1,6 +1,5 @@
 """Tests for the Figure-1 fleet sampler."""
 
-import pytest
 
 from repro.workload.fleet import FleetSample, FleetSampler
 

@@ -8,8 +8,6 @@ from repro.core.config import (
     CpuConfig,
     HostConfig,
     IommuConfig,
-    MemoryConfig,
-    NicConfig,
 )
 from repro.host import ReceiverHost
 from repro.net.packet import Ack, Packet

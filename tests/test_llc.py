@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.config import DdioConfig, HostConfig, MemoryConfig
 from repro.host import ReceiverHost
@@ -99,7 +98,6 @@ def test_host_uses_dynamic_model_when_configured():
 def test_leaky_dma_emerges_with_cpu_backlog():
     """End-to-end: a slow CPU lets the DDIO slice turn over before the
     copy happens, so read misses appear (the leaky-DMA effect)."""
-    import dataclasses
 
     from repro.core.config import CpuConfig
     from repro.net.packet import Packet as P

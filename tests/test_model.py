@@ -8,7 +8,6 @@ from repro.core.config import (
     CpuConfig,
     ExperimentConfig,
     HostConfig,
-    IommuConfig,
 )
 from repro.core.model import (
     ThroughputModel,

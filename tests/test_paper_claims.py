@@ -5,7 +5,6 @@ qualitative claim from the paper using short measurement windows
 (the full-scale versions live in ``benchmarks/``).
 """
 
-import dataclasses
 
 import pytest
 

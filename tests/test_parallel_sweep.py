@@ -1,0 +1,182 @@
+"""Parallel sweep execution: serial equivalence, failure surfacing.
+
+The contract under test (repro.core.parallel): a sweep run with
+``workers=N`` produces a ResultTable *bit-identical* to the serial run
+(same seeds, same table order), worker exceptions abort the sweep with
+the offending config attached, and per-run timeouts degrade to
+structured FailedRun placeholders instead of sinking the sweep.
+"""
+
+import pytest
+
+from repro.core.config import (
+    CpuConfig,
+    ExperimentConfig,
+    HostConfig,
+    SimConfig,
+    WorkloadConfig,
+)
+from repro.core.parallel import (
+    RunOutcome,
+    SweepRunError,
+    resolve_workers,
+    run_many,
+)
+from repro.core.results import FailedRun
+from repro.core.sweep import (
+    baseline_config,
+    run_sweep,
+    sweep_receiver_cores,
+)
+from repro.workload.fleet import FleetSampler
+
+
+def tiny_base():
+    return baseline_config(warmup=0.5e-3, duration=1e-3)
+
+
+def tiny_config(seed=3, cores=2, senders=4):
+    return ExperimentConfig(
+        host=HostConfig(cpu=CpuConfig(cores=cores)),
+        workload=WorkloadConfig(senders=senders),
+        sim=SimConfig(warmup=0.5e-3, duration=1e-3, seed=seed),
+    )
+
+
+def crashing_config():
+    """A config that passes validation but explodes inside the worker.
+
+    Pickling a dataclass restores ``__dict__`` without re-running
+    ``__post_init__``, so the bad transport travels to the worker and
+    fails at graph-build time — a stand-in for any mid-run crash.
+    """
+    config = tiny_config()
+    object.__setattr__(config, "transport", "definitely-not-a-cc")
+    return config
+
+
+class TestResolveWorkers:
+    def test_serial_spellings(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+
+    def test_explicit_count(self):
+        assert resolve_workers(6) == 6
+
+    def test_auto_leaves_one_core(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_workers("auto") == 7
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_workers("auto") == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestSerialEquivalence:
+    def test_parallel_table_is_bit_identical(self):
+        base = tiny_base()
+        serial = sweep_receiver_cores(cores=(2, 4), base=base)
+        parallel = sweep_receiver_cores(cores=(2, 4), base=base,
+                                        workers=2)
+        assert serial == parallel
+        for a, b in zip(serial, parallel):
+            assert a.metrics == b.metrics
+            assert a.params == b.params
+            assert a.message_latency_us == b.message_latency_us
+
+    def test_table_order_matches_config_order(self):
+        base = tiny_base()
+        table = sweep_receiver_cores(cores=(2, 4), iommu_states=(True,),
+                                     base=base, workers=2)
+        assert table.column("cores") == [2, 4]
+
+    def test_snapshots_identical_and_in_order(self):
+        base = tiny_base()
+        snaps_serial: list = []
+        snaps_parallel: list = []
+        sweep_receiver_cores(cores=(2, 4), iommu_states=(True,),
+                             base=base, snapshots_out=snaps_serial)
+        sweep_receiver_cores(cores=(2, 4), iommu_states=(True,),
+                             base=base, workers=2,
+                             snapshots_out=snaps_parallel)
+        assert snaps_serial == snaps_parallel
+        assert [s["meta"]["params"]["cores"] for s in snaps_parallel] \
+            == [2, 4]
+
+    def test_progress_called_once_per_run(self):
+        seen = []
+        run_sweep([tiny_config(seed=s) for s in (1, 2, 3)], workers=2,
+                  progress=lambda i, r: seen.append(i))
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_fleet_samples_identical(self):
+        serial = FleetSampler(seed=7, warmup=0.5e-3,
+                              duration=1e-3).run(4)
+        parallel = FleetSampler(seed=7, warmup=0.5e-3,
+                                duration=1e-3).run(4, workers=2)
+        assert serial == parallel
+
+
+class TestFailureSurfacing:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_crash_aborts_with_config_attached(self, workers):
+        bad = crashing_config()
+        with pytest.raises(SweepRunError) as excinfo:
+            run_sweep([tiny_config(), bad], workers=workers)
+        err = excinfo.value
+        assert err.index == 1
+        assert err.config.transport == "definitely-not-a-cc"
+        assert "unknown congestion control" in str(err)
+
+    def test_worker_traceback_preserved(self):
+        with pytest.raises(SweepRunError) as excinfo:
+            run_sweep([crashing_config()], workers=2)
+        assert "ValueError" in excinfo.value.worker_traceback
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_timeout_becomes_failed_run(self, workers):
+        table = run_sweep([tiny_config(), tiny_config(seed=9)],
+                          workers=workers, timeout=1e-4)
+        failures = table.failures()
+        assert len(failures) == 2
+        for failed in failures:
+            assert isinstance(failed, FailedRun)
+            assert failed.kind == "timeout"
+            assert failed.params["failed"] is True
+            assert failed.metrics == {}
+        assert len(table.ok()) == 0
+
+    def test_timeout_does_not_sink_fast_runs(self):
+        # Generous budget: the tiny runs finish, nothing fails.
+        table = run_sweep([tiny_config()], timeout=120.0)
+        assert table.failures() == []
+        assert table.ok().results == table.results
+
+    def test_failed_run_row_exports_flat(self):
+        failed = FailedRun.from_config(tiny_config(), kind="timeout",
+                                       error="boom", elapsed_s=0.5)
+        row = failed.as_flat_dict()
+        assert row["failed"] is True
+        assert row["error"] == "boom"
+        assert row["failure_kind"] == "timeout"
+
+
+class TestRunMany:
+    def test_outcomes_are_indexed_and_ordered(self):
+        configs = [tiny_config(seed=s) for s in (5, 6)]
+        outcomes = run_many(configs, workers=2)
+        assert [o.index for o in outcomes] == [0, 1]
+        assert all(isinstance(o, RunOutcome) for o in outcomes)
+        assert [o.result.params["seed"] for o in outcomes] == [5, 6]
+        assert all(not o.cached for o in outcomes)
+
+    def test_no_snapshot_unless_requested(self):
+        (outcome,) = run_many([tiny_config()])
+        assert outcome.snapshot is None
+        (outcome,) = run_many([tiny_config()], want_snapshots=True)
+        assert "meta" in outcome.snapshot

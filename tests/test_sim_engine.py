@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Event, Interrupt, Process, Simulator
+from repro.sim import Interrupt, Simulator
 from repro.sim.engine import SimulationError
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the sender connection state machine."""
 
-import pytest
 
 from repro.core.config import SwiftConfig
 from repro.net.packet import Ack
