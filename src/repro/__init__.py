@@ -46,8 +46,10 @@ from repro.core.sweep import (
     run_sweep,
     sweep_antagonist_cores,
     sweep_receiver_cores,
+    sweep_receivers,
     sweep_region_size,
 )
+from repro.core.topology import GraphBuilder, Topology
 from repro.obs import MetricsRegistry, SimProfiler, write_trace
 
 __version__ = "1.0.0"
@@ -59,6 +61,7 @@ __all__ = [
     "ExperimentHandle",
     "ExperimentResult",
     "FailedRun",
+    "GraphBuilder",
     "HostConfig",
     "IommuConfig",
     "LinkConfig",
@@ -73,6 +76,7 @@ __all__ = [
     "SweepRunError",
     "SwiftConfig",
     "ThroughputModel",
+    "Topology",
     "WorkloadConfig",
     "baseline_config",
     "modeled_app_throughput_bps",
@@ -80,6 +84,7 @@ __all__ = [
     "run_sweep",
     "sweep_antagonist_cores",
     "sweep_receiver_cores",
+    "sweep_receivers",
     "sweep_region_size",
     "write_trace",
 ]

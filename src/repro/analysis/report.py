@@ -8,6 +8,7 @@ the machine-generated companion to the hand-written EXPERIMENTS.md.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -83,6 +84,32 @@ def metrics_section(snapshot: dict,
     if delay and delay["count"]:
         lines.append(f"| host delay p50 (us) | {delay['p50']:g} |")
         lines.append(f"| host delay p99 (us) | {delay['p99']:g} |")
+    lines.append("")
+    lines.extend(_per_host_rows(snapshot))
+    return lines
+
+
+def _per_host_rows(snapshot: dict) -> List[str]:
+    """Per-host table for multi-receiver snapshots, where each host's
+    subtree is namespaced ``hostN/...`` (gauges ``hostN.*`` for the
+    host-level derived values)."""
+    gauges = snapshot.get("gauges", {})
+    hosts = sorted(
+        {m.group(1) for name in gauges
+         if (m := re.match(r"^(host\d+)[./]", name))},
+        key=lambda h: int(h[4:]))
+    if not hosts:
+        return []
+    lines = ["### Per-host", "",
+             "| host | throughput (Gbps) | drop rate | misses/pkt |",
+             "|---|---|---|---|"]
+    for host in hosts:
+        tput = gauges.get(f"{host}.app_throughput_gbps")
+        drops = gauges.get(f"{host}/nic.drop_rate")
+        misses = gauges.get(f"{host}.iotlb_misses_per_packet")
+        fmt = lambda v: f"{v:g}" if v is not None else "—"  # noqa: E731
+        lines.append(
+            f"| {host} | {fmt(tput)} | {fmt(drops)} | {fmt(misses)} |")
     lines.append("")
     return lines
 

@@ -3,7 +3,8 @@
 Commands:
 
 - ``run``     — one experiment at a chosen operating point, print gauges
-- ``sweep``   — sweep cores / region size / antagonists, print a table
+- ``sweep``   — sweep cores / region size / antagonists / receiver
+  hosts, print a table
 - ``figure``  — regenerate one paper figure (ASCII + CSV + shape checks)
 - ``fleet``   — sample a heterogeneous fleet (Fig. 1) and print scatter
 - ``model``   — evaluate the analytical model at a grid of miss rates
@@ -47,6 +48,7 @@ from repro.core.sweep import (
     baseline_config,
     sweep_antagonist_cores,
     sweep_receiver_cores,
+    sweep_receivers,
     sweep_region_size,
 )
 
@@ -97,7 +99,10 @@ def _host_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--region-mb", type=int, default=12,
                         help="Rx region per thread, MB (default 12)")
     parser.add_argument("--senders", type=int, default=40,
-                        help="sender machines (default 40)")
+                        help="sender machines per receiver (default 40)")
+    parser.add_argument("--receivers", type=int, default=1,
+                        help="receiver hosts, each with its own incast "
+                             "(default 1)")
     parser.add_argument("--transport", default="swift",
                         choices=("swift", "dctcp", "cubic", "hostcc", "timely"))
     parser.add_argument("--seed", type=int, default=1)
@@ -117,7 +122,8 @@ def _config_from_args(args: argparse.Namespace,
             antagonist_cores=args.antagonists,
             rx_region_bytes=args.region_mb * 2**20,
         ),
-        workload=WorkloadConfig(senders=args.senders),
+        workload=WorkloadConfig(senders=args.senders,
+                                receivers=getattr(args, "receivers", 1)),
         transport=args.transport,
         sim=SimConfig(warmup=args.warmup_ms * 1e-3,
                       duration=args.duration_ms * 1e-3,
@@ -158,6 +164,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     handles: list = []
     result = run_experiment(config, handle_out=handles)
     _print_result(result)
+    topology = handles[0].topology
+    if topology.n_receivers > 1:
+        print("\nper-host:")
+        for i, host in enumerate(topology.hosts):
+            snap = host.snapshot()
+            print(f"  host{i}: "
+                  f"tput {snap['app_throughput_gbps']:.1f} Gbps, "
+                  f"drops {snap['drop_rate'] * 100:.2f} %, "
+                  f"misses/pkt {snap['iotlb_misses_per_packet']:.2f}")
     if args.metrics_out:
         _write_metrics(args.metrics_out, handles[0].metrics_snapshot())
     return 0
@@ -181,6 +196,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         table = sweep_region_size(
             region_mb=tuple(int(v) for v in args.values), **run_opts)
         x_key = "rx_region_mb"
+    elif args.axis == "receivers":
+        table = sweep_receivers(
+            receivers=tuple(int(v) for v in args.values), **run_opts)
+        x_key = "receivers"
     else:
         table = sweep_antagonist_cores(
             antagonists=tuple(int(v) for v in args.values), **run_opts)
@@ -349,7 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="sweep one axis")
     p_sweep.add_argument("axis", choices=("cores", "region",
-                                          "antagonists"))
+                                          "antagonists", "receivers"))
     p_sweep.add_argument("values", type=int, nargs="+")
     p_sweep.add_argument("--csv", help="also write results to CSV")
     p_sweep.add_argument("--metrics-out",

@@ -194,12 +194,16 @@ class CpuConfig:
     #: Fractional slowdown of packet processing at full memory-bus
     #: utilization (copies stall on a saturated bus).
     contention_slowdown: float = 0.15
+    #: How often idle threads return batched Rx descriptors to the NIC.
+    descriptor_flush_interval: float = 100e-6
 
     def __post_init__(self) -> None:
         _require(self.cores >= 1, "need at least one receiver core")
         _require(self.core_rate_bps > 0, "core rate must be positive")
         _require(0 <= self.contention_slowdown < 1,
                  "contention_slowdown must be in [0,1)")
+        _require(self.descriptor_flush_interval > 0,
+                 "descriptor_flush_interval must be positive")
 
 
 @dataclass(frozen=True)
@@ -308,6 +312,10 @@ class WorkloadConfig:
     sender per receiver thread, continuous 16 KB remote reads."""
 
     senders: int = cal.DEFAULT_SENDERS
+    #: Receiver hosts in the topology; each gets its own ``senders``-way
+    #: incast, so the fabric carries ``senders × receivers`` flows per
+    #: receiver thread.
+    receivers: int = 1
     read_size_bytes: int = cal.REMOTE_READ_BYTES
     mtu_payload: int = cal.MTU_PAYLOAD_BYTES
     header_bytes: int = cal.HEADER_BYTES
@@ -318,6 +326,7 @@ class WorkloadConfig:
 
     def __post_init__(self) -> None:
         _require(self.senders >= 1, "need at least one sender")
+        _require(self.receivers >= 1, "need at least one receiver host")
         _require(self.read_size_bytes >= self.mtu_payload,
                  "read size smaller than one MTU")
         _require(self.mtu_payload > 0 and self.header_bytes >= 0,
@@ -387,5 +396,6 @@ class ExperimentConfig:
             "rx_region_mb": self.host.rx_region_bytes / 2**20,
             "antagonist_cores": self.host.antagonist_cores,
             "senders": self.workload.senders,
+            "receivers": self.workload.receivers,
             "seed": self.sim.seed,
         }

@@ -1,8 +1,10 @@
 """Experiment runner: config in, metrics out.
 
-Builds the full simulation graph (host + fabric + transport), runs the
-warmup, resets all window counters, runs the measurement window, and
-collects every headline metric of the paper.
+Builds the full simulation graph via
+:class:`~repro.core.topology.GraphBuilder` (M receiver hosts behind one
+fabric; M = ``config.workload.receivers``), runs the warmup, resets all
+window counters through the component tree, runs the measurement
+window, and collects every headline metric of the paper.
 
 Every handle owns a :class:`~repro.obs.metrics.MetricsRegistry` with
 every component's observables bound, and a
@@ -17,10 +19,10 @@ from typing import Dict, Optional
 from repro.core.config import ExperimentConfig
 from repro.core.metrics import summarize
 from repro.core.results import ExperimentResult
+from repro.core.topology import GraphBuilder
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.tracing import Tracer
-from repro.workload.remote_read import RemoteReadWorkload
 
 __all__ = ["run_experiment", "ExperimentHandle"]
 
@@ -35,16 +37,18 @@ class ExperimentHandle:
         self.tracer = Tracer(self.sim, enabled=config.sim.trace,
                              max_records=config.sim.trace_max_records)
         self.metrics = MetricsRegistry()
-        self.workload = RemoteReadWorkload(self.sim, config,
-                                           tracer=self.tracer)
-        self.host = self.workload.host
-        self.workload.bind_metrics(self.metrics)
+        self.topology = GraphBuilder(config,
+                                     tracer=self.tracer).build(self.sim)
+        #: Back-compat alias: the topology exposes the workload surface
+        #: (connections, set_offered_load, fabric, ...).
+        self.workload = self.topology
+        self.host = self.topology.host
+        self.topology.bind_metrics(self.metrics)
         self._measuring = False
 
     def run_warmup(self) -> None:
         self.sim.run(until=self.config.sim.warmup)
-        self.host.reset_stats()
-        self.workload.reset_stats()
+        self.topology.reset_stats()
         self.metrics.reset_window()
         self._measuring = True
 
@@ -67,24 +71,23 @@ class ExperimentHandle:
         return snapshot
 
     def collect(self) -> ExperimentResult:
-        host = self.host
-        workload = self.workload
-        metrics: Dict[str, float] = host.snapshot()
+        topology = self.topology
+        metrics: Dict[str, float] = topology.snapshot()
         metrics.update(
             {
-                "packets_sent": float(workload.total_packets_sent()),
-                "retransmissions": float(workload.total_retransmissions()),
-                "timeouts": float(workload.total_timeouts()),
-                "mean_cwnd": workload.mean_cwnd(),
-                "fabric_drops": float(workload.fabric.fabric_drops()),
-                "messages_completed": float(
-                    workload.receiver.messages_completed()),
+                "packets_sent": float(topology.total_packets_sent()),
+                "retransmissions": float(topology.total_retransmissions()),
+                "timeouts": float(topology.total_timeouts()),
+                "mean_cwnd": topology.mean_cwnd(),
+                "fabric_drops": float(topology.fabric.fabric_drops()),
+                "messages_completed": float(topology.messages_completed()),
                 "link_utilization":
                     metrics["wire_arrival_gbps"] * 1e9
-                    / self.config.link.rate_bps,
+                    / (self.config.link.rate_bps
+                       * topology.n_receivers),
             }
         )
-        latencies = workload.receiver.all_message_latencies()
+        latencies = topology.all_message_latencies()
         latency_summary = summarize([v * 1e6 for v in latencies])
         return ExperimentResult(
             params=self.config.describe(),

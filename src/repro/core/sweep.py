@@ -24,6 +24,7 @@ __all__ = [
     "run_sweep",
     "sweep_antagonist_cores",
     "sweep_receiver_cores",
+    "sweep_receivers",
     "sweep_region_size",
 ]
 
@@ -134,6 +135,36 @@ def sweep_region_size(
                    rx_region_bytes=mb * 2**20)
         for enabled in iommu_states
         for mb in region_mb
+    ]
+    return run_sweep(configs, progress, snapshots_out,
+                     workers=workers, timeout=timeout, cache=cache)
+
+
+def sweep_receivers(
+    receivers: Sequence[int] = (1, 2, 4),
+    base: Optional[ExperimentConfig] = None,
+    progress=None,
+    snapshots_out: Optional[list] = None,
+    *,
+    workers: Workers = None,
+    timeout: Optional[float] = None,
+    cache: Optional[ResultCache] = None,
+) -> ResultTable:
+    """Multi-receiver incast scale-out: M receiver hosts behind one
+    fabric, each with its own ``senders``-way incast.
+
+    Host interconnect congestion is per-host (the NIC buffer, IOMMU,
+    and memory bus are not shared across machines), so per-host
+    throughput and drop rate should be flat in M while aggregate
+    throughput scales linearly — the sanity check that congestion in
+    this model is a *host* phenomenon, not a fabric one.
+    """
+    base = base or baseline_config()
+    configs = [
+        dataclasses.replace(
+            base,
+            workload=dataclasses.replace(base.workload, receivers=m))
+        for m in receivers
     ]
     return run_sweep(configs, progress, snapshots_out,
                      workers=workers, timeout=timeout, cache=cache)

@@ -15,13 +15,16 @@ from __future__ import annotations
 
 from repro.core.config import DdioConfig
 from repro.host.memory import MemoryController, TrafficCounter
+from repro.sim.component import Component
 
 __all__ = ["CopyTrafficModel"]
 
 
-class CopyTrafficModel:
+class CopyTrafficModel(Component):
     """Converts payload bytes processed by receiver threads into memory
     read/write demand."""
+
+    label = "copy"
 
     def __init__(self, config: DdioConfig, memory: MemoryController):
         self.config = config
@@ -53,3 +56,12 @@ class CopyTrafficModel:
             self._reads.add(read_bytes)
         if write_bytes:
             self._writes.add(write_bytes)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def bind_own_metrics(self, registry, component: str) -> None:
+        registry.counter("payload_bytes_copied", component, unit="bytes",
+                         fn=lambda: self.payload_bytes_copied)
+
+    def reset_own_stats(self) -> None:
+        self.payload_bytes_copied = 0

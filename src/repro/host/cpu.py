@@ -19,13 +19,14 @@ from repro.host.cache import CopyTrafficModel
 from repro.host.memory import MemoryController
 from repro.host.nic import Nic
 from repro.net.packet import Packet
+from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.sim.tracing import Tracer
 
 __all__ = ["ReceiverThread"]
 
 
-class ReceiverThread:
+class ReceiverThread(Component):
     """One receive-processing thread pinned to one core."""
 
     def __init__(
@@ -42,6 +43,7 @@ class ReceiverThread:
     ):
         self.sim = sim
         self.thread_id = thread_id
+        self.label = f"cpu{thread_id}"
         self.config = config
         self.nic = nic
         self.memory = memory
@@ -116,13 +118,12 @@ class ReceiverThread:
 
     # -- telemetry -------------------------------------------------------------
 
-    def bind_metrics(self, registry, component: Optional[str] = None) -> None:
+    def bind_own_metrics(self, registry, component: str) -> None:
         """Register per-thread counters (reader-backed) in ``registry``.
 
         The default component label is ``cpu<thread_id>`` so every
         thread instance enumerates separately.
         """
-        component = component or f"cpu{self.thread_id}"
         registry.counter("processed_packets", component,
                          fn=lambda: self.processed_packets)
         registry.counter("processed_payload_bytes", component, unit="bytes",
@@ -143,7 +144,7 @@ class ReceiverThread:
             return 0.0
         return self._queue_delay_sum / self.processed_packets
 
-    def reset_stats(self) -> None:
+    def reset_own_stats(self) -> None:
         self.processed_packets = 0
         self.processed_payload_bytes = 0
         self._busy_time = 0.0

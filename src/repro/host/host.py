@@ -28,18 +28,18 @@ from repro.host.nic import Nic
 from repro.host.pagetable import PageTable
 from repro.host.pcie import PcieLink
 from repro.net.packet import Ack, Packet
+from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.sim.resources import CreditPool
 from repro.sim.tracing import Tracer
 
 __all__ = ["ReceiverHost"]
 
-#: How often idle threads return batched descriptors.
-_FLUSH_INTERVAL = 100e-6
 
-
-class ReceiverHost:
+class ReceiverHost(Component):
     """One receiver machine: NIC, PCIe, IOMMU, memory, CPU threads."""
+
+    label = "host"
 
     def __init__(
         self,
@@ -117,21 +117,27 @@ class ReceiverHost:
         self._receiver: Optional[Callable[[Packet], None]] = None
         self._ack_egress: Optional[Callable[[Ack], None]] = None
         self._stats_since = sim.now
-        sim.call(_FLUSH_INTERVAL, self._flush_tick)
+        sim.call(config.cpu.descriptor_flush_interval, self._flush_tick)
 
     # -- wiring ---------------------------------------------------------------
 
-    def bind_metrics(self, registry) -> None:
-        """Register every component's observables plus host-level
-        derived gauges in ``registry`` (one call per host instance)."""
-        self.nic.bind_metrics(registry, "nic")
-        self.iommu.bind_metrics(registry, "iommu")
-        self.iotlb.bind_metrics(registry, "iotlb")
-        self.pcie.bind_metrics(registry, "pcie")
-        self.memory.bind_metrics(registry, "memory")
-        self.remote_memory.bind_metrics(registry, "remote_memory")
-        for thread in self.threads:
-            thread.bind_metrics(registry)
+    def children(self):
+        """Every stats-bearing part, named by its historical metric
+        namespace (relative to this host's own prefix)."""
+        return (
+            [("nic", self.nic),
+             ("iommu", self.iommu),
+             ("iotlb", self.iotlb),
+             ("pcie", self.pcie),
+             ("memory", self.memory),
+             ("remote_memory", self.remote_memory),
+             ("copy", self.copy_model)]
+            + [(f"cpu{t.thread_id}", t) for t in self.threads]
+        )
+
+    def bind_own_metrics(self, registry, component: str) -> None:
+        """Host-level derived gauges (component parts register their
+        own observables through the :class:`Component` recursion)."""
         for name, unit, fn in (
             ("app_throughput_gbps", "Gbps",
              lambda: self.app_throughput_bps() / 1e9),
@@ -142,7 +148,7 @@ class ReceiverHost:
             ("iommu_entries", "entries",
              lambda: float(self.pagetable.entry_count)),
         ):
-            registry.gauge(name, "host", unit, fn=fn)
+            registry.gauge(name, component, unit, fn=fn)
 
     def attach_receiver(self, receiver: Callable[[Packet], None]) -> None:
         """Transport-layer hook, called once per processed packet."""
@@ -177,7 +183,8 @@ class ReceiverHost:
     def _flush_tick(self) -> None:
         for thread in self.threads:
             thread.flush_descriptors()
-        self.sim.call(_FLUSH_INTERVAL, self._flush_tick)
+        self.sim.call(self.config.cpu.descriptor_flush_interval,
+                      self._flush_tick)
 
     # -- telemetry ------------------------------------------------------------
 
@@ -212,7 +219,12 @@ class ReceiverHost:
         return self.pagetable.entry_count
 
     def snapshot(self) -> Dict[str, float]:
-        """All headline metrics for the current measurement window."""
+        """All headline metrics for the current measurement window.
+
+        Deliberately overrides the :class:`Component` recursion: this
+        flat dict is the stable reporting surface that
+        ``ExperimentHandle.collect()`` and the sweep CSVs are built on.
+        """
         return {
             "app_throughput_gbps": self.app_throughput_bps() / 1e9,
             "wire_arrival_gbps": self.wire_arrival_bps() / 1e9,
@@ -229,14 +241,7 @@ class ReceiverHost:
                 self.remote_memory.total_achieved_bandwidth() / 1e9,
         }
 
-    def reset_stats(self) -> None:
-        """Warmup boundary: zero every window counter, keep cache state."""
+    def reset_own_stats(self) -> None:
+        """Warmup boundary: restart the host's rate clock (component
+        counters are zeroed by the :class:`Component` recursion)."""
         self._stats_since = self.sim.now
-        self.nic.reset_stats()
-        self.nic.buffer.peak_bytes = self.nic.buffer.bytes_used
-        self.iommu.reset_stats()
-        self.memory.reset_accounting()
-        self.remote_memory.reset_accounting()
-        self.pcie.reset_accounting()
-        for thread in self.threads:
-            thread.reset_stats()

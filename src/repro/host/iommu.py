@@ -17,6 +17,7 @@ from repro.core.config import IommuConfig
 from repro.host.iotlb import Iotlb
 from repro.host.memory import MemoryController
 from repro.host.pagetable import PageTable
+from repro.sim.component import Component
 
 __all__ = ["Iommu", "TranslationResult", "ZERO_TRANSLATION"]
 
@@ -35,8 +36,10 @@ class TranslationResult:
 ZERO_TRANSLATION = TranslationResult(0.0, 0, 0, 0)
 
 
-class Iommu:
+class Iommu(Component):
     """Translates NIC-visible virtual addresses to physical addresses."""
+
+    label = "iommu"
 
     def __init__(
         self,
@@ -63,7 +66,18 @@ class Iommu:
     def enabled(self) -> bool:
         return self.config.enabled
 
-    def bind_metrics(self, registry, component: str = "iommu") -> None:
+    def children(self):
+        """The NIC-side device TLB (when ATS is configured).
+
+        The host-side IOTLB is deliberately *not* a child: the host owns
+        and resets it directly, and its historical flat metric namespace
+        (``iotlb.*``) lives beside — not under — ``iommu.*``.
+        """
+        if self.device_tlb is not None:
+            return (("device_tlb", self.device_tlb),)
+        return ()
+
+    def bind_own_metrics(self, registry, component: str) -> None:
         """Register translation counters (reader-backed, zero hot-path
         cost) in ``registry``."""
         for name, fn in (
@@ -117,11 +131,17 @@ class Iommu:
         return self.total_misses / self.translations
 
     def reset_stats(self) -> None:
-        """Zero window counters (warmup boundary); cache state is kept."""
+        """Zero window counters (warmup boundary); cache state is kept.
+
+        Also cascades to the host-side IOTLB for callers that treat the
+        IOMMU as the translation unit's front door (the device TLB is a
+        child, so the :class:`Component` recursion covers it).
+        """
+        super().reset_stats()
+        self.iotlb.reset_stats()
+
+    def reset_own_stats(self) -> None:
         self.translations = 0
         self.page_accesses = 0
         self.total_misses = 0
         self.total_walk_accesses = 0
-        self.iotlb.reset_stats()
-        if self.device_tlb is not None:
-            self.device_tlb.reset_stats()

@@ -11,11 +11,15 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List, Optional
 
+from repro.sim.component import Component
+
 __all__ = ["Iotlb"]
 
 
-class Iotlb:
+class Iotlb(Component):
     """LRU translation cache keyed by page start address."""
+
+    label = "iotlb"
 
     def __init__(self, entries: int = 128, ways: Optional[int] = None):
         if entries <= 0:
@@ -61,7 +65,7 @@ class Iotlb:
             self.evictions += 1
         return False
 
-    def bind_metrics(self, registry, component: str = "iotlb") -> None:
+    def bind_own_metrics(self, registry, component: str) -> None:
         """Register hit/miss/eviction counters in ``registry``."""
         for name, fn in (
             ("hits", lambda: self.hits),
@@ -103,7 +107,7 @@ class Iotlb:
             return 0.0
         return self.misses / self.accesses
 
-    def reset_stats(self) -> None:
+    def reset_own_stats(self) -> None:
         """Zero counters without dropping cached entries (used at the
         warmup/measurement boundary)."""
         self.hits = 0

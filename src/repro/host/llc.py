@@ -24,17 +24,20 @@ from __future__ import annotations
 from repro.core.config import DdioConfig
 from repro.host.memory import MemoryController, TrafficCounter
 from repro.net.packet import Packet
+from repro.sim.component import Component
 
 __all__ = ["DynamicLlcModel"]
 
 
-class DynamicLlcModel:
+class DynamicLlcModel(Component):
     """Tracks DDIO-slice residency per packet.
 
     The DDIO slice behaves FIFO-by-bytes: a packet written when the
     cumulative write cursor was at ``w`` has been evicted once the
     cursor passes ``w + slice_bytes``.
     """
+
+    label = "llc"
 
     def __init__(self, config: DdioConfig, memory: MemoryController):
         self.config = config
@@ -100,3 +103,20 @@ class DynamicLlcModel:
         if total == 0:
             return 0.0
         return self.llc_hits / total
+
+    def bind_own_metrics(self, registry, component: str) -> None:
+        for name, fn in (
+            ("payload_bytes_copied", lambda: self.payload_bytes_copied),
+            ("llc_hits", lambda: self.llc_hits),
+            ("llc_misses", lambda: self.llc_misses),
+        ):
+            registry.counter(name, component, fn=fn)
+        registry.gauge("hit_ratio", component, unit="fraction",
+                       fn=self.hit_ratio)
+
+    def reset_own_stats(self) -> None:
+        """Zero window counters; residency state (cursor/stamps) is the
+        cache's contents and survives the warmup boundary."""
+        self.payload_bytes_copied = 0
+        self.llc_hits = 0
+        self.llc_misses = 0

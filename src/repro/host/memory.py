@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import MemoryConfig
+from repro.sim.component import Component
 from repro.sim.engine import Simulator
 
 __all__ = ["MemoryController", "TrafficCounter", "queue_delay_for",
@@ -108,8 +109,10 @@ def weighted_water_fill(
     return alloc
 
 
-class MemoryController:
+class MemoryController(Component):
     """Tracks demand, computes utilization/allocation, answers latency."""
+
+    label = "memory"
 
     def __init__(self, sim: Simulator, config: Optional[MemoryConfig] = None):
         self.sim = sim
@@ -170,7 +173,7 @@ class MemoryController:
                 f"source class must be 'nic' or 'cpu', got {source_class!r}"
             )
 
-    def bind_metrics(self, registry, component: str = "memory") -> None:
+    def bind_own_metrics(self, registry, component: str) -> None:
         """Register bus-level gauges plus one achieved-bandwidth gauge
         per demand source known at bind time (all reader-backed)."""
         registry.gauge("utilization", component, unit="fraction",
@@ -275,6 +278,9 @@ class MemoryController:
         for name in self._achieved_integral:
             self._achieved_integral[name] = 0.0
         self._integral_since = self.sim.now
+
+    def reset_own_stats(self) -> None:
+        self.reset_accounting()
 
     def achieved_bandwidth(self) -> Dict[str, float]:
         """Mean achieved bytes/s per source since the last reset."""

@@ -23,6 +23,7 @@ from repro.host.iommu import Iommu
 from repro.host.memory import MemoryController, TrafficCounter
 from repro.host.pcie import PcieLink
 from repro.net.packet import Ack, Packet
+from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.sim.queues import ByteQueue
 from repro.sim.resources import CreditPool
@@ -62,8 +63,10 @@ class RxRing:
         self.free = min(self.free + n, self.capacity)
 
 
-class Nic:
+class Nic(Component):
     """Receive-side NIC model."""
+
+    label = "nic"
 
     def __init__(
         self,
@@ -108,7 +111,7 @@ class Nic:
         self._m_host_delay = None
         self._m_dma_latency = None
 
-    def bind_metrics(self, registry, component: str = "nic") -> None:
+    def bind_own_metrics(self, registry, component: str) -> None:
         """Register every NIC observable in ``registry``.
 
         Counter/gauge readers pull the existing window counters at
@@ -290,7 +293,7 @@ class Nic:
             return 0.0
         return self.dropped_packets / self.rx_packets
 
-    def reset_stats(self) -> None:
+    def reset_own_stats(self) -> None:
         """Zero window counters (warmup boundary)."""
         self.rx_packets = 0
         self.rx_bytes = 0
@@ -301,3 +304,15 @@ class Nic:
         self.acks_sent = 0
         self._nic_delay_sum = 0.0
         self._dma_latency_sum = 0.0
+        self.buffer.peak_bytes = self.buffer.bytes_used
+
+    def own_snapshot(self) -> dict:
+        return {
+            "rx_packets": self.rx_packets,
+            "dropped_packets": self.dropped_packets,
+            "drop_rate": self.drop_rate(),
+            "mean_dma_latency_us": self.mean_dma_latency() * 1e6,
+            "mean_nic_delay_us": self.mean_nic_delay() * 1e6,
+            "buffer_peak_fraction":
+                self.buffer.peak_bytes / self.config.buffer_bytes,
+        }

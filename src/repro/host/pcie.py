@@ -15,6 +15,7 @@ Two behaviours matter for the paper:
 from __future__ import annotations
 
 from repro.core.config import PcieConfig
+from repro.sim.component import Component
 from repro.sim.engine import Simulator
 
 __all__ = ["PcieLink", "pcie_goodput_bps", "pcie_raw_bps"]
@@ -62,8 +63,10 @@ def pcie_goodput_bps(gen: int = 3, lanes: int = 16,
     return raw * tlp_efficiency * (1 - _DLLP_FRACTION)
 
 
-class PcieLink:
+class PcieLink(Component):
     """Serialization and utilization accounting for the PCIe link."""
+
+    label = "pcie"
 
     def __init__(self, sim: Simulator, config: PcieConfig):
         self.sim = sim
@@ -73,7 +76,7 @@ class PcieLink:
         self._busy_integral = 0.0
         self._accounted_until = 0.0
 
-    def bind_metrics(self, registry, component: str = "pcie") -> None:
+    def bind_own_metrics(self, registry, component: str) -> None:
         """Register link counters in ``registry``."""
         registry.counter("bytes_transferred", component, unit="bytes",
                          fn=lambda: self.bytes_transferred)
@@ -113,3 +116,6 @@ class PcieLink:
         self.bytes_transferred = 0
         self._busy_integral = 0.0
         self._accounted_until = self.sim.now
+
+    def reset_own_stats(self) -> None:
+        self.reset_accounting()

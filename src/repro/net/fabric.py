@@ -1,20 +1,26 @@
-"""The star fabric: N senders → one switch port → the receiver host.
+"""The star fabric: N senders → switch ports → M receiver hosts.
 
-Data path: each sender has its own access link into the switch; the
-switch's egress port to the receiver serializes at the receiver's
-access-link rate — the aggregation point of the incast.  The reverse
-(ACK) path is modelled as a fixed one-way delay: ACKs are tiny and the
-reverse direction is uncongested in every experiment of the paper.
+Data path: each sender has its own access link into the switch; each
+receiver host gets its own switch egress port serializing at that
+receiver's access-link rate — the aggregation point of the incast.  The
+reverse (ACK) path is modelled as a fixed one-way delay: ACKs are tiny
+and the reverse direction is uncongested in every experiment of the
+paper.
+
+With one receiver (the paper's setup, and the default everywhere) the
+fabric degenerates to the historical N → 1 star and sender links feed
+the single port directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import LinkConfig
 from repro.net.link import Link
 from repro.net.packet import Ack, Packet
 from repro.net.switch import SwitchPort
+from repro.sim.component import Component
 from repro.sim.engine import Simulator
 
 __all__ = ["Fabric"]
@@ -24,36 +30,65 @@ __all__ = ["Fabric"]
 _SENDER_LEG_FRACTION = 0.2
 
 
-class Fabric:
-    """Connects sender endpoints to one receiver host."""
+class Fabric(Component):
+    """Connects sender endpoints to one or more receiver hosts."""
+
+    label = "fabric"
 
     def __init__(
         self,
         sim: Simulator,
         config: LinkConfig,
         n_senders: int,
-        deliver_to_host: Callable[[Packet], None],
+        deliver_to_host: Optional[Callable[[Packet], None]] = None,
+        *,
+        receivers: Optional[Sequence[Callable[[Packet], None]]] = None,
     ):
+        """Exactly one of ``deliver_to_host`` (the historical single-host
+        callable) or ``receivers`` (one delivery callback per receiver
+        host) must be given."""
         if n_senders < 1:
             raise ValueError(f"need at least one sender, got {n_senders}")
+        if (deliver_to_host is None) == (receivers is None):
+            raise ValueError(
+                "pass exactly one of deliver_to_host or receivers")
+        if deliver_to_host is not None:
+            receivers = [deliver_to_host]
+        receivers = list(receivers)
+        if not receivers:
+            raise ValueError("need at least one receiver host")
         self.sim = sim
         self.config = config
         sender_delay = config.one_way_delay * _SENDER_LEG_FRACTION
         switch_delay = config.one_way_delay * (1 - _SENDER_LEG_FRACTION)
-        self.port = SwitchPort(
-            sim,
-            rate_bps=config.rate_bps,
-            buffer_bytes=config.switch_buffer_bytes,
-            prop_delay=switch_delay,
-            deliver=deliver_to_host,
-            ecn_threshold_bytes=config.ecn_threshold_bytes,
-        )
+        self.ports: List[SwitchPort] = [
+            SwitchPort(
+                sim,
+                rate_bps=config.rate_bps,
+                buffer_bytes=config.switch_buffer_bytes,
+                prop_delay=switch_delay,
+                deliver=deliver,
+                ecn_threshold_bytes=config.ecn_threshold_bytes,
+                name=f"switch-port-{i}",
+            )
+            for i, deliver in enumerate(receivers)
+        ]
+        # Single receiver: links feed the lone port directly, keeping
+        # the historical (and bit-identical) zero-lookup data path.
+        ingress = (self.ports[0].enqueue if len(self.ports) == 1
+                   else self._route_packet)
         self.sender_links: List[Link] = [
             Link(sim, config.rate_bps, sender_delay,
-                 deliver=self.port.enqueue, name=f"sender-{i}")
+                 deliver=ingress, name=f"sender-{i}")
             for i in range(n_senders)
         ]
         self._ack_handlers: Dict[int, Callable[[Ack], None]] = {}
+        self._flow_host: Dict[int, int] = {}
+
+    @property
+    def port(self) -> SwitchPort:
+        """The first egress port (the historical single-host alias)."""
+        return self.ports[0]
 
     # -- data path ------------------------------------------------------------
 
@@ -61,13 +96,29 @@ class Fabric:
         """Sender ``sender_id`` puts a packet on its access link."""
         self.sender_links[sender_id].send(pkt, pkt.wire_bytes)
 
+    def _route_packet(self, pkt: Packet) -> None:
+        """Switch crossbar: steer a packet to its flow's egress port."""
+        try:
+            host = self._flow_host[pkt.flow_id]
+        except KeyError:
+            raise KeyError(
+                f"packet for unregistered flow {pkt.flow_id}") from None
+        self.ports[host].enqueue(pkt)
+
     # -- ack path -------------------------------------------------------------
 
     def register_flow(self, flow_id: int,
-                      on_ack: Callable[[Ack], None]) -> None:
+                      on_ack: Callable[[Ack], None],
+                      host: int = 0) -> None:
+        """Register a flow's ACK handler and its receiver host index."""
         if flow_id in self._ack_handlers:
             raise ValueError(f"flow {flow_id} already registered")
+        if not 0 <= host < len(self.ports):
+            raise ValueError(
+                f"flow {flow_id} routed to unknown host {host} "
+                f"(topology has {len(self.ports)} receiver(s))")
         self._ack_handlers[flow_id] = on_ack
+        self._flow_host[flow_id] = host
 
     def route_ack(self, ack: Ack) -> None:
         """Receiver-to-sender path: fixed one-way delay, no queueing."""
@@ -79,8 +130,17 @@ class Fabric:
 
     # -- telemetry -------------------------------------------------------------
 
+    def children(self):
+        """Egress ports only: per-sender access links are uncongested
+        by construction and would add N metric rows per fabric."""
+        return tuple((f"port{i}", p) for i, p in enumerate(self.ports))
+
+    def bind_own_metrics(self, registry, component: str) -> None:
+        registry.counter("fabric_drops", component,
+                         fn=lambda: float(self.fabric_drops()))
+
     def fabric_drops(self) -> int:
-        return self.port.dropped
+        return sum(p.dropped for p in self.ports)
 
     def switch_queue_bytes(self) -> int:
-        return self.port.queue_depth_bytes()
+        return sum(p.queue_depth_bytes() for p in self.ports)

@@ -9,13 +9,16 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.sim.component import Component
 from repro.sim.engine import Simulator
 
 __all__ = ["Link"]
 
 
-class Link:
+class Link(Component):
     """Unidirectional link delivering items to a callback."""
+
+    label = "link"
 
     def __init__(
         self,
@@ -34,6 +37,7 @@ class Link:
         self.prop_delay = prop_delay
         self.deliver = deliver
         self.name = name
+        self.label = name
         self._busy_until = 0.0
         self.items_sent = 0
         self.bytes_sent = 0
@@ -62,3 +66,9 @@ class Link:
         if elapsed <= 0:
             return 0.0
         return min(self._busy_integral / elapsed, 1.0)
+
+    def bind_own_metrics(self, registry, component: str) -> None:
+        registry.counter("items_sent", component,
+                         fn=lambda: self.items_sent)
+        registry.counter("bytes_sent", component, unit="bytes",
+                         fn=lambda: self.bytes_sent)

@@ -11,14 +11,17 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.net.packet import Packet
+from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.sim.queues import ByteQueue
 
 __all__ = ["SwitchPort"]
 
 
-class SwitchPort:
+class SwitchPort(Component):
     """FIFO output port with serialization, ECN, and a finite buffer."""
+
+    label = "port"
 
     def __init__(
         self,
@@ -71,3 +74,15 @@ class SwitchPort:
 
     def queue_depth_bytes(self) -> int:
         return self.queue.bytes_used
+
+    def bind_own_metrics(self, registry, component: str) -> None:
+        registry.counter("forwarded", component,
+                         fn=lambda: self.forwarded)
+        registry.counter("dropped", component,
+                         fn=lambda: self.dropped)
+        registry.gauge("queue_depth_bytes", component, unit="bytes",
+                       fn=lambda: float(self.queue_depth_bytes()))
+
+    def reset_own_stats(self) -> None:
+        """Deliberate no-op: fabric drop/forward counts run from t=0 so
+        `collect()` keeps reporting whole-run fabric drops."""

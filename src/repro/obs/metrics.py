@@ -227,15 +227,26 @@ class MetricsRegistry:
 
     # -- output ------------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, Dict]:
-        """Every metric's current value as a plain nested dict."""
+    def snapshot(self, prefix: str = "") -> Dict[str, Dict]:
+        """Every metric's current value as a plain nested dict.
+
+        ``prefix`` restricts the snapshot to full names starting with
+        it — e.g. ``"host1/"`` selects one host's subtree of a
+        multi-receiver topology.
+        """
+        def wanted(items):
+            return sorted(
+                (name, metric) for name, metric in items
+                if name.startswith(prefix)
+            )
+
         return {
             "counters": {name: c.value
-                         for name, c in sorted(self._counters.items())},
+                         for name, c in wanted(self._counters.items())},
             "gauges": {name: g.value
-                       for name, g in sorted(self._gauges.items())},
+                       for name, g in wanted(self._gauges.items())},
             "histograms": {name: h.summary()
-                           for name, h in sorted(self._histograms.items())},
+                           for name, h in wanted(self._histograms.items())},
         }
 
     def to_json(self, indent: int = 1) -> str:

@@ -19,8 +19,13 @@ Public surface:
   queue with occupancy/drop accounting (models the NIC input SRAM).
 - :class:`~repro.sim.randoms.RngRegistry` — named, reproducible RNG
   streams derived from one root seed.
+- :class:`~repro.sim.component.Component` /
+  :class:`~repro.sim.component.SimComponent` — the bind/reset/snapshot
+  protocol every graph node implements, with composite recursion over a
+  declared ``children()`` list.
 """
 
+from repro.sim.component import Component, SimComponent, join_name
 from repro.sim.engine import Event, Interrupt, Process, Simulator
 from repro.sim.queues import ByteQueue
 from repro.sim.randoms import RngRegistry
@@ -29,13 +34,16 @@ from repro.sim.tracing import Tracer
 
 __all__ = [
     "ByteQueue",
+    "Component",
     "CreditPool",
     "Event",
     "Gate",
     "Interrupt",
     "Process",
     "RngRegistry",
+    "SimComponent",
     "Simulator",
     "Store",
     "Tracer",
+    "join_name",
 ]

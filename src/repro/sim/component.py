@@ -1,0 +1,128 @@
+"""The component protocol behind the simulation graph.
+
+Every piece of the simulated system — NIC, PCIe link, IOMMU, memory
+controller, CPU threads, switch ports, transport endpoints — exposes
+the same three operations:
+
+- ``bind_metrics(registry, name)`` — register observables under a
+  namespaced component label;
+- ``reset_stats()`` — zero window counters at the warmup boundary
+  (cache/queue *state* is always preserved);
+- ``snapshot()`` — headline values as a plain dict.
+
+:class:`Component` implements all three as recursions over a declared
+``children()`` list, so composites (host, fabric, workloads, the whole
+topology) no longer hand-roll fan-out loops: a composite lists its
+parts once and the protocol walks the tree.  Leaves override the
+``*_own_*`` hooks; composites override ``children()``.
+
+Metric namespacing is path-style: a child named ``nic`` under a parent
+bound as ``host0`` registers metrics as ``host0/nic.<metric>``.  The
+empty name is the identity — a single-host graph binds with ``name=""``
+and every metric keeps its historical flat name (``nic.rx_packets``),
+which is what keeps single-host output bit-identical across the
+refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Protocol, Tuple, runtime_checkable
+
+__all__ = ["Component", "SimComponent", "join_name"]
+
+
+def join_name(prefix: str, name: str) -> str:
+    """Compose a path-style metric namespace.
+
+    The empty string is the identity on either side: a child named
+    ``""`` merges into its parent's namespace, and a parent bound as
+    ``""`` leaves the child's historical flat name untouched.
+    """
+    if not prefix:
+        return name
+    if not name:
+        return prefix
+    return f"{prefix}/{name}"
+
+
+@runtime_checkable
+class SimComponent(Protocol):
+    """What the rest of the system may assume about any graph node."""
+
+    def bind_metrics(self, registry, name: str = "") -> None:
+        """Register observables in ``registry`` under ``name``."""
+
+    def reset_stats(self) -> None:
+        """Zero window counters; keep cache/queue state."""
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Headline values for the current measurement window."""
+
+
+class Component:
+    """Base class implementing :class:`SimComponent` as a recursion.
+
+    Subclasses override:
+
+    - ``label`` — the default metric namespace when bound with no name
+      (instances may set it per-object, e.g. ``cpu3``);
+    - ``children()`` — ``(relative_name, component)`` pairs; a relative
+      name of ``""`` merges the child into this component's namespace;
+    - ``bind_own_metrics`` / ``reset_own_stats`` / ``own_snapshot`` —
+      the leaf-level behaviour.
+    """
+
+    #: Default metric namespace; instances may override.
+    label: str = ""
+
+    def children(self) -> Iterable[Tuple[str, "Component"]]:
+        """(relative_name, child) pairs; leaves return ()."""
+        return ()
+
+    # -- metrics ------------------------------------------------------------
+
+    def bind_metrics(self, registry, name: str = "") -> None:
+        """Register this component's and every descendant's metrics."""
+        self.bind_own_metrics(registry, name or self.label)
+        for child_name, child in self.children():
+            child.bind_metrics(registry, join_name(name, child_name))
+
+    def bind_own_metrics(self, registry, name: str) -> None:
+        """Register this node's own observables under ``name``."""
+
+    # -- warmup boundary ----------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero this component's and every descendant's window counters."""
+        self.reset_own_stats()
+        for _, child in self.children():
+            child.reset_stats()
+
+    def reset_own_stats(self) -> None:
+        """Zero this node's own window counters."""
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Own values plus children's, keyed by relative path."""
+        out: Dict[str, Any] = dict(self.own_snapshot())
+        for child_name, child in self.children():
+            for key, value in child.snapshot().items():
+                out[join_name(child_name, key)] = value
+        return out
+
+    def own_snapshot(self) -> Dict[str, Any]:
+        """This node's own headline values."""
+        return {}
+
+    def describe(self) -> Dict[str, Any]:
+        """Structural summary of the subtree (debugging/docs aid)."""
+        return {
+            "type": type(self).__name__,
+            "label": self.label,
+            "children": {
+                name or child.label or type(child).__name__:
+                    child.describe()
+                for name, child in self.children()
+            },
+        }

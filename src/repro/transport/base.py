@@ -9,10 +9,11 @@ signal extension all share this machinery.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Callable, Protocol
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Protocol
 
 from repro.net.packet import Ack, Packet
+from repro.sim.component import Component
 from repro.sim.engine import Simulator
 
 __all__ = ["CongestionControl", "Connection"]
@@ -44,7 +45,7 @@ class _SentRecord:
         self.retransmitted = False
 
 
-class Connection:
+class Connection(Component):
     """One always-backlogged sender → receiver flow.
 
     The paper's workload is closed-loop 16 KB remote reads issued
@@ -71,6 +72,7 @@ class Connection:
     ):
         self.sim = sim
         self.flow_id = flow_id
+        self.label = f"flow{flow_id}"
         self.sender_id = sender_id
         self.thread_id = thread_id
         self.cc = cc
@@ -90,7 +92,7 @@ class Connection:
         self._highest_acked_tx = -1
         #: seq -> _SentRecord, in transmission order.
         self._inflight: "OrderedDict[int, _SentRecord]" = OrderedDict()
-        self._retx_queue: list[int] = []
+        self._retx_queue: Deque[int] = deque()
         self.srtt = initial_rtt
         self._next_send_time = 0.0
         self._send_scheduled = False
@@ -102,8 +104,12 @@ class Connection:
         self.losses_detected = 0
         self.timeouts = 0
 
+        #: True iff an _rto_check event is pending (armed on transmit,
+        #: disarmed when nothing is in flight — keeps idle flows off the
+        #: event heap in large-N sweeps).
+        self._rto_armed = False
+
         sim.call(0.0, self._maybe_send)
-        sim.call(self.rto, self._rto_check)
 
     # -- sending ---------------------------------------------------------------
 
@@ -164,7 +170,7 @@ class Connection:
 
     def _transmit_next(self) -> None:
         if self._retx_queue:
-            seq = self._retx_queue.pop(0)
+            seq = self._retx_queue.popleft()
             retx = True
         else:
             seq = self._next_seq
@@ -190,6 +196,7 @@ class Connection:
         self.packets_sent += 1
         if retx:
             self.retransmissions += 1
+        self._arm_rto()
         self._send(pkt)
 
     # -- receiving acks ----------------------------------------------------------
@@ -226,15 +233,50 @@ class Connection:
 
     # -- timeout backstop ---------------------------------------------------------
 
+    def _arm_rto(self) -> None:
+        if not self._rto_armed:
+            self._rto_armed = True
+            self.sim.call(self.rto, self._rto_check)
+
     def _rto_check(self) -> None:
         now = self.sim.now
-        if self._inflight:
-            oldest = next(iter(self._inflight.values()))
-            if now - oldest.sent_time > self.rto:
-                seq = oldest.seq
-                del self._inflight[seq]
-                self._retx_queue.append(seq)
-                self.timeouts += 1
-                self.cc.on_timeout(now)
-                self._maybe_send()
+        if not self._inflight:
+            # Nothing to back-stop: disarm until the next transmission.
+            self._rto_armed = False
+            return
+        oldest = next(iter(self._inflight.values()))
+        if now - oldest.sent_time > self.rto:
+            seq = oldest.seq
+            del self._inflight[seq]
+            self._retx_queue.append(seq)
+            self.timeouts += 1
+            self.cc.on_timeout(now)
+            self._maybe_send()
         self.sim.call(self.rto / 2, self._rto_check)
+
+    # -- telemetry ----------------------------------------------------------
+
+    def bind_own_metrics(self, registry, component: str) -> None:
+        """Per-flow observables.
+
+        Not bound automatically by the workload composites — one
+        registry entry per flow × counter would swamp snapshots at
+        cores × senders flows — but available for focused studies.
+        """
+        for name, fn in (
+            ("packets_sent", lambda: self.packets_sent),
+            ("retransmissions", lambda: self.retransmissions),
+            ("acks_received", lambda: self.acks_received),
+            ("losses_detected", lambda: self.losses_detected),
+            ("timeouts", lambda: self.timeouts),
+        ):
+            registry.counter(name, component, fn=fn)
+        registry.gauge("cwnd", component, unit="packets",
+                       fn=lambda: self.cc.cwnd())
+
+    def reset_own_stats(self) -> None:
+        self.packets_sent = 0
+        self.retransmissions = 0
+        self.acks_received = 0
+        self.losses_detected = 0
+        self.timeouts = 0

@@ -9,9 +9,10 @@ microseconds of tail latency").
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.net.packet import Ack, Packet
+from repro.sim.component import Component
 
 __all__ = ["ReceiverEndpoint"]
 
@@ -25,8 +26,10 @@ class _FlowState:
         self.message_latencies: List[float] = []
 
 
-class ReceiverEndpoint:
+class ReceiverEndpoint(Component):
     """Per-host receiver transport: ACK generation + read accounting."""
+
+    label = "receiver"
 
     def __init__(
         self,
@@ -117,7 +120,15 @@ class ReceiverEndpoint:
     def messages_completed(self) -> int:
         return sum(s.messages_done for s in self._flows.values())
 
-    def reset_stats(self) -> None:
+    def bind_own_metrics(self, registry, component: str) -> None:
+        registry.counter("messages_completed", component,
+                         fn=lambda: float(self.messages_completed()))
+        registry.counter("packets_received", component,
+                         fn=lambda: self.packets_received)
+        registry.counter("duplicates", component,
+                         fn=lambda: self.duplicates)
+
+    def reset_own_stats(self) -> None:
         self.packets_received = 0
         self.duplicates = 0
         for state in self._flows.values():

@@ -72,8 +72,7 @@ def run_isolation_study(config: ExperimentConfig) -> IsolationResult:
     sim = Simulator()
     workload = _IsolationWorkload(sim, config)
     sim.run(until=config.sim.warmup)
-    workload.host.reset_stats()
-    workload.reset_stats()
+    workload.reset_stats()  # component recursion covers host + transport
     sim.run(until=config.sim.end_time)
     receiver = workload.receiver
     to_us = lambda values: [v * 1e6 for v in values]  # noqa: E731

@@ -8,15 +8,26 @@ connection per sender."
 This module wires senders, fabric, host, and transport together: one
 :class:`~repro.transport.base.Connection` per (receiver thread, sender)
 pair, all continuously backlogged with 16 KB read responses.
+
+Two granularities are exposed:
+
+- :func:`build_remote_read_graph` — the general form: M receiver hosts
+  behind one fabric, each with its own ``senders``-way incast (one
+  :class:`HostWorkload` per host).
+- :class:`RemoteReadWorkload` — the historical single-host facade over
+  the same builder, kept because most studies (and the paper itself)
+  are single-receiver.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import random
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import ExperimentConfig
 from repro.host.host import ReceiverHost
 from repro.net.fabric import Fabric
+from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.sim.randoms import RngRegistry
 from repro.sim.tracing import Tracer
@@ -24,63 +35,120 @@ from repro.transport.base import Connection
 from repro.transport.receiver import ReceiverEndpoint
 from repro.transport.swift import make_cc
 
-__all__ = ["RemoteReadWorkload"]
+__all__ = ["HostWorkload", "RemoteReadWorkload", "build_remote_read_graph"]
 
 
-class RemoteReadWorkload:
-    """Builds and owns the full sender/fabric/host/transport graph."""
+class _TransportStats(Component):
+    """Fleet-aggregate sender-side observables for one host's flows.
 
-    def __init__(self, sim: Simulator, config: ExperimentConfig,
-                 tracer: Optional[Tracer] = None):
+    A component of its own so the transport counters keep their
+    historical ``transport.*`` namespace (per-host: ``host0/transport``)
+    without the workload hand-rolling registration loops.
+    """
+
+    label = "transport"
+
+    def __init__(self, connections: List[Connection]):
+        #: shared list object, owned by the enclosing HostWorkload.
+        self._connections = connections
+
+    def bind_own_metrics(self, registry, component: str) -> None:
+        conns = self._connections
+        for name, fn in (
+            ("packets_sent", lambda: sum(c.packets_sent for c in conns)),
+            ("retransmissions",
+             lambda: sum(c.retransmissions for c in conns)),
+            ("timeouts", lambda: sum(c.timeouts for c in conns)),
+            ("acks_received",
+             lambda: sum(c.acks_received for c in conns)),
+            ("losses_detected",
+             lambda: sum(c.losses_detected for c in conns)),
+        ):
+            registry.counter(name, component, fn=fn)
+        registry.gauge(
+            "mean_cwnd", component, unit="packets",
+            fn=lambda: (sum(c.cc.cwnd() for c in conns) / len(conns)
+                        if conns else 0.0))
+        registry.gauge(
+            "mean_srtt_us", component, unit="us",
+            fn=lambda: (sum(c.srtt for c in conns) / len(conns) * 1e6
+                        if conns else 0.0))
+
+    def reset_own_stats(self) -> None:
+        for conn in self._connections:
+            conn.reset_stats()
+
+
+class HostWorkload(Component):
+    """One receiver host's share of the incast: its transport endpoint
+    and one connection per (receiver thread, sender)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ExperimentConfig,
+        host: ReceiverHost,
+        fabric: Fabric,
+        host_index: int = 0,
+        arrival_rng: Optional[random.Random] = None,
+    ):
         self.sim = sim
         self.config = config
-        rngs = RngRegistry(config.sim.seed)
-        self._arrival_rng = rngs.stream("arrivals")
-        self.host = ReceiverHost(
-            sim, config.host, rngs.stream("host"), tracer=tracer)
-        self.fabric = Fabric(
-            sim,
-            config.link,
-            n_senders=config.workload.senders,
-            deliver_to_host=self.host.deliver_packet,
-        )
+        self.host = host
+        self.fabric = fabric
+        self.host_index = host_index
+        self._arrival_rng = arrival_rng
+        cores = config.host.cpu.cores
+        senders = config.workload.senders
+        #: global ids: flows and sender machines are disjoint per host.
+        self._flow_base = host_index * cores * senders
+        self._sender_base = host_index * senders
         self.receiver = ReceiverEndpoint(
-            send_ack=self.host.send_ack,
+            send_ack=host.send_ack,
             packets_per_read=config.workload.packets_per_read,
             now=lambda: sim.now,
         )
-        self.host.attach_receiver(self.receiver.on_packet)
-        self.host.attach_ack_egress(self.fabric.route_ack)
+        host.attach_receiver(self.receiver.on_packet)
+        host.attach_ack_egress(fabric.route_ack)
         self.connections: List[Connection] = []
         self._by_flow: Dict[int, Connection] = {}
-        flow_id = 0
-        cores = config.host.cpu.cores
+        flow_id = self._flow_base
         for thread_id in range(cores):
-            for sender_id in range(config.workload.senders):
+            for sender_id in range(senders):
                 conn = self._make_connection(flow_id, sender_id, thread_id)
                 self.connections.append(conn)
                 self._by_flow[flow_id] = conn
                 flow_id += 1
+        self.transport = _TransportStats(self.connections)
+
+    def children(self) -> Tuple[Tuple[str, Component], ...]:
+        return (
+            ("", self.host),
+            ("receiver", self.receiver),
+            ("transport", self.transport),
+        )
 
     def _make_connection(self, flow_id: int, sender_id: int,
                          thread_id: int) -> Connection:
         cfg = self.config
         cc = make_cc(cfg.transport, cfg.swift, initial_cwnd=1.0)
         open_loop = cfg.workload.offered_load is not None
+        global_sender = self._sender_base + sender_id
         conn = Connection(
             sim=self.sim,
             flow_id=flow_id,
             sender_id=sender_id,
             thread_id=thread_id,
             cc=cc,
-            send=lambda pkt, s=sender_id: self.fabric.send_packet(s, pkt),
+            send=lambda pkt, s=global_sender: self.fabric.send_packet(s, pkt),
             payload_bytes=cfg.workload.mtu_payload,
             wire_bytes=cfg.workload.wire_bytes_per_packet,
             rto=cfg.swift.rto,
             reorder_threshold=cfg.swift.loss_retx_threshold,
             always_backlogged=not open_loop,
         )
-        self.fabric.register_flow(flow_id, conn.on_ack)
+        self.fabric.register_flow(flow_id, conn.on_ack,
+                                  host=self.host_index)
         if open_loop:
             self._start_arrivals(conn)
         return conn
@@ -107,7 +175,7 @@ class RemoteReadWorkload:
     def _start_arrivals(self, conn: Connection) -> None:
         """Poisson arrivals of whole reads to one connection.
 
-        The aggregate arrival rate across all flows equals
+        The aggregate arrival rate across this host's flows equals
         ``offered_load × link rate`` in payload terms; the rate is
         re-read on every arrival so :meth:`set_offered_load` takes
         effect immediately (time-varying load).
@@ -127,36 +195,6 @@ class RemoteReadWorkload:
 
     # -- aggregate statistics ---------------------------------------------
 
-    def bind_metrics(self, registry) -> None:
-        """Register host + transport observables in ``registry``.
-
-        Transport metrics are fleet aggregates over all connections
-        (per-flow metrics would register cores × senders entries).
-        """
-        self.host.bind_metrics(registry)
-        for name, fn in (
-            ("packets_sent", self.total_packets_sent),
-            ("retransmissions", self.total_retransmissions),
-            ("timeouts", self.total_timeouts),
-            ("acks_received",
-             lambda: sum(c.acks_received for c in self.connections)),
-            ("losses_detected",
-             lambda: sum(c.losses_detected for c in self.connections)),
-        ):
-            registry.counter(name, "transport", fn=fn)
-        registry.gauge("mean_cwnd", "transport", unit="packets",
-                       fn=self.mean_cwnd)
-        registry.gauge(
-            "mean_srtt_us", "transport", unit="us",
-            fn=lambda: (sum(c.srtt for c in self.connections)
-                        / len(self.connections) * 1e6
-                        if self.connections else 0.0))
-        registry.counter("messages_completed", "receiver",
-                         fn=lambda: float(
-                             self.receiver.messages_completed()))
-        registry.counter("fabric_drops", "fabric",
-                         fn=lambda: float(self.fabric.fabric_drops()))
-
     def total_packets_sent(self) -> int:
         return sum(c.packets_sent for c in self.connections)
 
@@ -172,12 +210,84 @@ class RemoteReadWorkload:
         return sum(c.cc.cwnd() for c in self.connections) / len(
             self.connections)
 
-    def reset_stats(self) -> None:
-        """Warmup boundary for sender-side counters."""
-        for conn in self.connections:
-            conn.packets_sent = 0
-            conn.retransmissions = 0
-            conn.acks_received = 0
-            conn.losses_detected = 0
-            conn.timeouts = 0
-        self.receiver.reset_stats()
+
+def build_remote_read_graph(
+    sim: Simulator,
+    config: ExperimentConfig,
+    receivers: int = 1,
+    tracer: Optional[Tracer] = None,
+) -> Tuple[List[ReceiverHost], Fabric, List[HostWorkload]]:
+    """Construct {N×M senders → fabric → M receiver hosts}.
+
+    Each receiver host gets its own disjoint set of ``senders`` sender
+    machines and ``cores × senders`` flows, so per-host congestion is
+    independent by construction (the headline multi-receiver claim).
+
+    With ``receivers == 1`` the build order — RNG streams, host, fabric,
+    endpoint, connections — replays the historical single-host
+    construction event for event, which is what keeps single-host
+    results bit-identical.
+    """
+    if receivers < 1:
+        raise ValueError(f"need at least one receiver, got {receivers}")
+    rngs = RngRegistry(config.sim.seed)
+    arrival_rng = rngs.stream("arrivals")
+    hosts = [
+        ReceiverHost(
+            sim, config.host,
+            rngs.stream("host" if receivers == 1 else f"host{i}"),
+            tracer=tracer)
+        for i in range(receivers)
+    ]
+    fabric = Fabric(
+        sim,
+        config.link,
+        n_senders=config.workload.senders * receivers,
+        receivers=[host.deliver_packet for host in hosts],
+    )
+    workloads = [
+        HostWorkload(sim, config, host, fabric,
+                     host_index=i, arrival_rng=arrival_rng)
+        for i, host in enumerate(hosts)
+    ]
+    return hosts, fabric, workloads
+
+
+class RemoteReadWorkload(Component):
+    """The historical single-host facade over the graph builder."""
+
+    def __init__(self, sim: Simulator, config: ExperimentConfig,
+                 tracer: Optional[Tracer] = None):
+        if config.workload.receivers != 1:
+            raise ValueError(
+                "RemoteReadWorkload is single-host; build a multi-host "
+                "graph with repro.core.topology.GraphBuilder or "
+                "build_remote_read_graph")
+        self.sim = sim
+        self.config = config
+        hosts, fabric, workloads = build_remote_read_graph(
+            sim, config, receivers=1, tracer=tracer)
+        self._hw = workloads[0]
+        self.host = hosts[0]
+        self.fabric = fabric
+        self.receiver = self._hw.receiver
+        self.connections = self._hw.connections
+        self._by_flow = self._hw._by_flow
+
+    def children(self) -> Tuple[Tuple[str, Component], ...]:
+        return (("", self._hw), ("", self.fabric))
+
+    def set_offered_load(self, fraction: float) -> None:
+        self._hw.set_offered_load(fraction)
+
+    def total_packets_sent(self) -> int:
+        return self._hw.total_packets_sent()
+
+    def total_retransmissions(self) -> int:
+        return self._hw.total_retransmissions()
+
+    def total_timeouts(self) -> int:
+        return self._hw.total_timeouts()
+
+    def mean_cwnd(self) -> float:
+        return self._hw.mean_cwnd()

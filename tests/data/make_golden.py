@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Regenerate golden_single_host.json (see test_golden_single_host.py).
+
+Only run this after an *intentional* change to simulation behaviour —
+the whole point of the golden file is that accidental changes fail CI.
+
+    PYTHONPATH=src python tests/data/make_golden.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from test_golden_single_host import GOLDEN, golden_run  # noqa: E402
+
+if __name__ == "__main__":
+    GOLDEN.write_text(json.dumps(golden_run(), indent=1, sort_keys=True)
+                      + "\n")
+    print(f"wrote {GOLDEN}")

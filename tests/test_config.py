@@ -59,6 +59,14 @@ class TestValidation:
         with pytest.raises(ValueError):
             CpuConfig(cores=0)
 
+    def test_cpu_flush_interval_positive(self):
+        with pytest.raises(ValueError):
+            CpuConfig(descriptor_flush_interval=0.0)
+
+    def test_workload_receivers_minimum(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(receivers=0)
+
     def test_host_region_minimum(self):
         with pytest.raises(ValueError):
             HostConfig(rx_region_bytes=1000)

@@ -1,0 +1,65 @@
+"""The layering lint: clean on the real tree, loud on a violation."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "check_layering.py"
+
+
+def run_lint(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True, cwd=REPO)
+
+
+def test_real_tree_is_clean():
+    proc = run_lint()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "layering: OK" in proc.stdout
+    for package in ("sim", "net", "obs", "host", "transport",
+                    "workload", "core", "analysis", "cli"):
+        assert package in proc.stdout
+
+
+def test_upward_import_is_flagged(tmp_path):
+    # A fake repro tree where the bottom layer imports a higher one.
+    pkg = tmp_path / "repro"
+    for sub in ("sim", "net", "obs", "host", "transport", "workload",
+                "core", "analysis", "cli"):
+        (pkg / sub).mkdir(parents=True)
+        (pkg / sub / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "sim" / "engine.py").write_text("import repro.host.nic\n")
+    proc = run_lint("--root", str(tmp_path))
+    assert proc.returncode == 1
+    assert "repro.sim.engine (layer 0) imports repro.host.nic (layer 2)" \
+        in proc.stdout
+
+
+def test_function_scope_import_is_exempt(tmp_path):
+    pkg = tmp_path / "repro"
+    for sub in ("sim", "net", "obs", "host", "transport", "workload",
+                "core", "analysis", "cli"):
+        (pkg / sub).mkdir(parents=True)
+        (pkg / sub / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "sim" / "engine.py").write_text(
+        "def lazy():\n    import repro.cli\n")
+    proc = run_lint("--root", str(tmp_path))
+    assert proc.returncode == 0, proc.stdout
+
+
+def test_kernel_modules_importable_from_layer_zero(tmp_path):
+    pkg = tmp_path / "repro"
+    for sub in ("sim", "net", "obs", "host", "transport", "workload",
+                "core", "analysis", "cli"):
+        (pkg / sub).mkdir(parents=True)
+        (pkg / sub / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "sim" / "engine.py").write_text(
+        "from repro.core.config import ExperimentConfig\n"
+        "from repro.core import calibration\n")
+    proc = run_lint("--root", str(tmp_path))
+    assert proc.returncode == 0, proc.stdout

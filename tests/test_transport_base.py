@@ -125,3 +125,41 @@ def test_stats_counters():
     sim.run(until=1e-6)
     assert conn.packets_sent == 2
     assert conn.retransmissions == 0
+
+
+def test_rto_disarms_when_nothing_inflight():
+    # An idle flow must leave the event heap empty: once every packet
+    # is acked (and no backlog remains) the RTO timer stops
+    # rescheduling itself, so sim.run() terminates.
+    sim, conn, sent, _ = make_conn(initial_cwnd=2.0, rto=200e-6)
+    conn.always_backlogged = False
+    conn.add_backlog(2)
+    sim.run(until=1e-6)
+    assert len(sent) == 2
+    assert conn._rto_armed
+    for pkt in list(sent):
+        sim.call(20e-6, conn.on_ack, ack_for(pkt))
+    sim.run()  # drains: no immortal timer keeps the heap alive
+    assert conn.inflight_count == 0
+    assert not conn._rto_armed
+    assert sim.peek() is None
+
+
+def test_rto_rearms_after_idle_period():
+    sim, conn, sent, _ = make_conn(initial_cwnd=1.0, rto=200e-6)
+    conn.always_backlogged = False
+    conn.add_backlog(1)
+    sim.run(until=1e-6)
+    sim.call(20e-6, conn.on_ack, ack_for(sent[0]))
+    sim.run()
+    assert not conn._rto_armed
+    # New data after the idle gap: the timer re-arms and still
+    # backstops a lost packet.
+    conn.add_backlog(1)
+    sim.run(until=sim.now + 1e-6)
+    assert conn._rto_armed
+    fresh = [p for p in sent if not p.is_retransmission][-1]
+    sim.run(until=sim.now + 2e-3)  # never acked -> RTO fires
+    assert conn.timeouts >= 1
+    retx = [p for p in sent if p.is_retransmission]
+    assert retx and all(p.seq == fresh.seq for p in retx)
