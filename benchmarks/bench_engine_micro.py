@@ -59,6 +59,35 @@ def test_event_dispatch_throughput_profiled(benchmark):
         report["events_per_sec"])
 
 
+def test_timer_cancel_churn(benchmark):
+    """Schedule-then-cancel churn through the timer wheel.
+
+    Models the transport's RTO pattern (re-armed on every transmission,
+    stale almost immediately).  Cancellation is O(1) and cancelled
+    timers never reach dispatch — a heap-only engine would pop and
+    discard every one of them.
+    """
+
+    def _never():
+        raise AssertionError("cancelled timer dispatched")
+
+    def churn():
+        sim = Simulator()
+
+        def step(remaining):
+            if remaining:
+                sim.schedule_timer(1e-3, _never).cancel()
+                sim.call(1e-9, step, remaining - 1)
+
+        sim.call(0.0, step, 10_000)
+        sim.run()
+        return sim.events_dispatched
+
+    dispatched = benchmark(churn)
+    # Only the live chain events count; the 10k dead timers are unseen.
+    assert dispatched == 10_001
+
+
 def test_iotlb_access_throughput(benchmark):
     tlb = Iotlb(entries=128, ways=16)
     rng = random.Random(0)

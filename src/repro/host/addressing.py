@@ -146,14 +146,23 @@ class ThreadLayout:
         packet (payload + metadata) straddles two pages (paper §3.1:
         "fetching two pages instead of just a single hugepage").
         """
-        if self.data.page_size == PAGE_2M:
-            offset = rng.randrange(self.data.num_pages) * PAGE_2M
-            return [self.data.page_key(offset)]
-        slots = self.data.num_pages  # one 4 KB slot per page
-        slot = rng.randrange(max(slots - 1, 1))
+        # rng._randbelow(n) is exactly what randrange(n) calls for a
+        # positive stop — same draw sequence, minus argument plumbing.
+        data = self.data
+        if data.page_size == PAGE_2M:
+            return [data.base + rng._randbelow(data.num_pages) * PAGE_2M]
+        slots = data.num_pages  # one 4 KB slot per page
+        slot = rng._randbelow(max(slots - 1, 1))
         offset = slot * PAGE_4K
         # payload plus headers/metadata spills into the next page
-        return self.data.span_keys(offset, payload_bytes + PAGE_4K)
+        # (open-coded span_keys: offset is always in range here)
+        end = offset + payload_bytes + PAGE_4K - 1
+        if end >= data.size:
+            end = data.size - 1
+        base = data.base
+        return list(range(base + offset,
+                          base + (end // PAGE_4K) * PAGE_4K + 1,
+                          PAGE_4K))
 
     def conn_state_page(self, rng: random.Random) -> int:
         """Connection-state page touched for one packet.
@@ -163,8 +172,8 @@ class ThreadLayout:
         arrivals interleaved across connections, so the page accessed
         per packet is effectively random within the pool.
         """
-        page = rng.randrange(self.conn_state.num_pages)
-        return self.conn_state.page_key(page * PAGE_4K)
+        conn = self.conn_state
+        return conn.base + rng._randbelow(conn.num_pages) * PAGE_4K
 
     def rx_control_pages(self) -> List[int]:
         """Descriptor-fetch and completion-write pages for one Rx packet.
@@ -173,15 +182,16 @@ class ThreadLayout:
         ``_DESCS_PER_PAGE`` packets — control pages have high but not
         perfect locality.
         """
-        index = self._cursor["rx"]
-        self._cursor["rx"] = index + 1
-        desc_page = (index // _DESCS_PER_PAGE) % self.rx_desc_ring.num_pages
-        comp_page = (
-            index // _COMPLETIONS_PER_PAGE
-        ) % self.rx_completion_ring.num_pages
+        cursor = self._cursor
+        index = cursor["rx"]
+        cursor["rx"] = index + 1
+        desc = self.rx_desc_ring
+        comp = self.rx_completion_ring
         return [
-            self.rx_desc_ring.page_key(desc_page * PAGE_4K),
-            self.rx_completion_ring.page_key(comp_page * PAGE_4K),
+            desc.base
+            + (index // _DESCS_PER_PAGE) % desc.num_pages * PAGE_4K,
+            comp.base
+            + (index // _COMPLETIONS_PER_PAGE) % comp.num_pages * PAGE_4K,
         ]
 
     def tx_control_pages(self, rng: random.Random) -> List[int]:
@@ -194,7 +204,7 @@ class ThreadLayout:
         comp_page = (
             index // _COMPLETIONS_PER_PAGE
         ) % self.tx_completion_ring.num_pages
-        staging = rng.randrange(self.ack_staging.num_pages)
+        staging = rng._randbelow(self.ack_staging.num_pages)
         return [
             self.tx_desc_ring.page_key(desc_page * PAGE_4K),
             self.tx_completion_ring.page_key(comp_page * PAGE_4K),

@@ -51,6 +51,9 @@ class ReceiverThread(Component):
         self.on_processed = on_processed
         self.replenish_batch = replenish_batch
         self.tracer = tracer
+        # Hot-path hoists (config is immutable after construction).
+        self._core_rate_bps = config.core_rate_bps
+        self._contention_slowdown = config.contention_slowdown
         self._queue: Deque[Packet] = deque()
         self._busy = False
         self._pending_descriptors = 0
@@ -89,9 +92,11 @@ class ReceiverThread(Component):
         """Per-packet processing time; copies stall when the memory bus
         is saturated, inflating service time by up to
         ``contention_slowdown``."""
-        base = pkt.payload_bytes * 8 / self.config.core_rate_bps
-        contention = min(self.memory.utilization, 1.0)
-        return base * (1.0 + self.config.contention_slowdown * contention)
+        base = pkt.payload_bytes * 8 / self._core_rate_bps
+        contention = self.memory.utilization
+        if contention > 1.0:
+            contention = 1.0
+        return base * (1.0 + self._contention_slowdown * contention)
 
     def _finish(self, pkt: Packet, span: int = 0) -> None:
         if span and self.tracer is not None:

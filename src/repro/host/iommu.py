@@ -104,19 +104,35 @@ class Iommu(Component):
         misses = 0
         walk_accesses = 0
         hit_latency = self.config.iotlb_hit_latency
-        for key in page_keys:
-            accesses += 1
-            if self.device_tlb is not None and self.device_tlb.access(key):
-                # ATS hit on the NIC: no IOMMU traffic at all.
-                latency += hit_latency
-                continue
-            if self.iotlb.access(key):
-                latency += hit_latency
-                continue
-            misses += 1
-            steps = self.pagetable.walk(key)
-            walk_accesses += steps
-            latency += steps * self.memory.walk_access_latency()
+        iotlb_access = self.iotlb.access
+        walk = self.pagetable.walk
+        walk_access_latency = self.memory.walk_access_latency
+        device_tlb = self.device_tlb
+        if device_tlb is None:
+            for key in page_keys:
+                accesses += 1
+                if iotlb_access(key):
+                    latency += hit_latency
+                    continue
+                misses += 1
+                steps = walk(key)
+                walk_accesses += steps
+                latency += steps * walk_access_latency()
+        else:
+            device_access = device_tlb.access
+            for key in page_keys:
+                accesses += 1
+                if device_access(key):
+                    # ATS hit on the NIC: no IOMMU traffic at all.
+                    latency += hit_latency
+                    continue
+                if iotlb_access(key):
+                    latency += hit_latency
+                    continue
+                misses += 1
+                steps = walk(key)
+                walk_accesses += steps
+                latency += steps * walk_access_latency()
         self.translations += 1
         self.page_accesses += accesses
         self.total_misses += misses

@@ -36,6 +36,10 @@ class Iotlb(Component):
             for _ in range(entries // ways if ways else 1)
         ]
         self._way_capacity = ways if ways else entries
+        #: Fully-associative fast path: the lone set, pre-resolved so
+        #: ``access`` skips the hash-mix call on every lookup.
+        self._single: Optional[OrderedDict] = (
+            self._sets[0] if len(self._sets) == 1 else None)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -53,7 +57,14 @@ class Iotlb(Component):
 
     def access(self, key: int) -> bool:
         """Look up ``key``; inserts it on miss.  True on hit."""
-        line = self._set_for(key)
+        line = self._single
+        if line is None:
+            # Open-coded _set_for: this runs per page per packet.
+            sets = self._sets
+            frame = key >> 12
+            frame ^= frame >> 7
+            frame ^= frame >> 13
+            line = sets[frame % len(sets)]
         if key in line:
             line.move_to_end(key)
             self.hits += 1

@@ -108,8 +108,15 @@ class Nic(Component):
         self._nic_delay_sum = 0.0
         self._dma_latency_sum = 0.0
         # Bound by bind_metrics(); None keeps the hot path at one branch.
+        # While bound, per-packet samples land in plain lists and drain
+        # into the histograms only at registry flush points (snapshot /
+        # warmup boundary) — an append is far cheaper than reservoir
+        # bookkeeping per event, and replaying in order leaves the
+        # reservoir RNG state identical to eager observation.
         self._m_host_delay = None
         self._m_dma_latency = None
+        self._host_delay_pending: List[float] = []
+        self._dma_latency_pending: List[float] = []
 
     def bind_own_metrics(self, registry, component: str) -> None:
         """Register every NIC observable in ``registry``.
@@ -146,6 +153,22 @@ class Nic(Component):
             "host_delay_us", component, unit="us")
         self._m_dma_latency = registry.histogram(
             "dma_latency_us", component, unit="us")
+        registry.add_flush_callback(self.flush_metric_samples)
+
+    def flush_metric_samples(self) -> None:
+        """Drain buffered histogram samples (registry flush hook)."""
+        pending = self._dma_latency_pending
+        if pending:
+            observe = self._m_dma_latency.observe
+            for value in pending:
+                observe(value)
+            pending.clear()
+        pending = self._host_delay_pending
+        if pending:
+            observe = self._m_host_delay.observe
+            for value in pending:
+                observe(value)
+            pending.clear()
 
     # -- receive path -------------------------------------------------------
 
@@ -161,26 +184,33 @@ class Nic(Component):
             if self.tracer:
                 self.tracer.emit("nic", "drop", flow=pkt.flow_id,
                                  seq=pkt.seq, occupied=occupied)
+            pkt.release()
             return
         self.buffer.offer(pkt, pkt.wire_bytes)
         self._pump()
 
     def _pump(self) -> None:
         """Start DMAs while the head packet has descriptors and credits."""
+        buffer = self.buffer
+        peek = buffer.peek
+        pop = buffer.pop
+        rings = self.rings
+        try_acquire = self.credits.try_acquire
+        start_dma = self._start_dma
         while True:
-            head = self.buffer.peek()
+            head = peek()
             if head is None:
                 return
             pkt: Packet = head[0]
-            ring = self.rings[pkt.thread_id]
+            ring = rings[pkt.thread_id]
             if not ring.take():
                 return  # head-of-line stall until CPU replenishes
-            if not self.credits.try_acquire(pkt.wire_bytes):
+            if not try_acquire(pkt.wire_bytes):
                 ring.replenish(1)  # undo; retry when credits release
                 return
-            self.buffer.pop()
+            pop()
             self._inflight_bytes += pkt.wire_bytes
-            self._start_dma(pkt)
+            start_dma(pkt)
 
     def _start_dma(self, pkt: Packet) -> None:
         layout = self.layouts[pkt.thread_id]
@@ -197,7 +227,7 @@ class Nic(Component):
                  + translation.latency + pcie_delay + mem_latency)
         self._dma_latency_sum += total
         if self._m_dma_latency is not None:
-            self._m_dma_latency.observe(total * 1e6)
+            self._dma_latency_pending.append(total * 1e6)
         span = 0
         if self.tracer is not None and self.tracer.enabled:
             tracer = self.tracer
@@ -230,11 +260,12 @@ class Nic(Component):
         pkt.dma_done_time = self.sim.now
         self.dma_completed_packets += 1
         self.dma_completed_payload_bytes += pkt.payload_bytes
-        self._nic_delay_sum += pkt.dma_done_time - pkt.nic_arrival_time
+        nic_delay = pkt.dma_done_time - pkt.nic_arrival_time
+        self._nic_delay_sum += nic_delay
         if self._m_host_delay is not None:
-            self._m_host_delay.observe(
-                (pkt.dma_done_time - pkt.nic_arrival_time) * 1e6)
-        self._traffic.add(pkt.payload_bytes + _CONTROL_WRITE_BYTES)
+            self._host_delay_pending.append(nic_delay * 1e6)
+        self._traffic.bytes_pending += (pkt.payload_bytes
+                                        + _CONTROL_WRITE_BYTES)
         if self.tracer:
             self.tracer.emit("nic", "dma_done", flow=pkt.flow_id,
                              seq=pkt.seq)

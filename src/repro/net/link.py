@@ -48,7 +48,8 @@ class Link(Component):
         if wire_bytes <= 0:
             raise ValueError(f"wire_bytes must be positive, got {wire_bytes}")
         now = self.sim.now
-        start = max(now, self._busy_until)
+        busy = self._busy_until
+        start = now if now > busy else busy
         tx = wire_bytes * 8 / self.rate_bps
         self._busy_until = start + tx
         self._busy_integral += tx

@@ -168,6 +168,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._flush_callbacks: List[Callable[[], None]] = []
 
     # -- registration ------------------------------------------------------
 
@@ -225,6 +226,24 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted([*self._counters, *self._gauges, *self._histograms])
 
+    # -- deferred aggregation -----------------------------------------------
+
+    def add_flush_callback(self, fn: Callable[[], None]) -> None:
+        """Register a drain hook for a component that buffers hot-path
+        samples locally instead of observing per event.
+
+        Callbacks run — in registration order, which keeps histogram
+        reservoir sampling deterministic — before every ``snapshot()``
+        and before ``reset_window()`` touches the histograms, so the
+        deferral is invisible to every reader of the registry.
+        """
+        self._flush_callbacks.append(fn)
+
+    def flush(self) -> None:
+        """Drain all pending deferred samples into their metrics."""
+        for fn in self._flush_callbacks:
+            fn()
+
     # -- output ------------------------------------------------------------
 
     def snapshot(self, prefix: str = "") -> Dict[str, Dict]:
@@ -234,6 +253,7 @@ class MetricsRegistry:
         it — e.g. ``"host1/"`` selects one host's subtree of a
         multi-receiver topology.
         """
+        self.flush()
         def wanted(items):
             return sorted(
                 (name, metric) for name, metric in items
@@ -257,7 +277,12 @@ class MetricsRegistry:
 
         Reader-backed metrics follow their source attributes, which the
         owning components reset through their own ``reset_stats()``.
+        Deferred samples buffered during warmup are flushed *first* —
+        they must pass through the histograms before the reset so the
+        reservoir RNGs advance exactly as they would under per-event
+        observation (``Histogram.reset()`` does not reseed ``_rng``).
         """
+        self.flush()
         for counter in self._counters.values():
             if counter._fn is None:
                 counter.reset()

@@ -17,6 +17,9 @@ Public surface:
   producer and consumer processes.
 - :class:`~repro.sim.queues.ByteQueue` — finite byte-capacity tail-drop
   queue with occupancy/drop accounting (models the NIC input SRAM).
+- :class:`~repro.sim.wheel.TimerHandle` /
+  :class:`~repro.sim.wheel.TimerWheel` — O(1)-cancellable timers behind
+  :meth:`~repro.sim.engine.Simulator.schedule_timer`.
 - :class:`~repro.sim.randoms.RngRegistry` — named, reproducible RNG
   streams derived from one root seed.
 - :class:`~repro.sim.component.Component` /
@@ -31,6 +34,7 @@ from repro.sim.queues import ByteQueue
 from repro.sim.randoms import RngRegistry
 from repro.sim.resources import CreditPool, Gate, Store
 from repro.sim.tracing import Tracer
+from repro.sim.wheel import TimerHandle, TimerWheel
 
 __all__ = [
     "ByteQueue",
@@ -44,6 +48,8 @@ __all__ = [
     "SimComponent",
     "Simulator",
     "Store",
+    "TimerHandle",
+    "TimerWheel",
     "Tracer",
     "join_name",
 ]

@@ -3,14 +3,33 @@
 Time is a ``float`` in **seconds**. Events scheduled at equal times fire
 in insertion order (a monotonically increasing sequence number breaks
 ties), which keeps runs fully deterministic for a given seed.
+
+Hot-path layout (see DESIGN.md "Kernel performance"):
+
+- Heap entries are mutable lists ``[time, seq, fn, args]`` so a timer
+  can be cancelled in place (``entry[2] = entry[3] = None``) without
+  touching the heap structure.
+- The dispatch loop is specialized per ``(hook, until)`` case, hoists
+  ``heappop`` into a local, unpacks entries once, and defers the
+  ``events_dispatched`` store to a local counter written back when the
+  loop exits.
+- Entries whose ``fn`` is ``None`` are engine housekeeping: cancelled
+  timers (``args is None``) are skipped, timer-wheel service visits
+  (``args`` is the bucket key) cascade one wheel bucket into the heap.
+  Neither counts toward ``events_dispatched`` — the counter only ever
+  reflects user callbacks actually invoked, so cancelled timers never
+  surface as no-op dispatches.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
-__all__ = ["Event", "Interrupt", "Process", "Simulator", "SimulationError"]
+from repro.sim.wheel import TimerHandle, TimerWheel
+
+__all__ = ["Event", "Interrupt", "Process", "Simulator", "SimulationError",
+           "TimerHandle"]
 
 
 class SimulationError(RuntimeError):
@@ -35,9 +54,19 @@ class Event:
     An event starts *pending*; :meth:`succeed` or :meth:`fail` triggers it
     exactly once, after which its callbacks run within the current
     simulation step.
+
+    Events are recyclable: :meth:`recycle` parks a spent event on a
+    free list and :meth:`Simulator.event` reuses it, so steady-state
+    event churn allocates nothing.  Recycling is strictly opt-in — only
+    the owner of an event may recycle it, and only once nothing else
+    holds a reference.
     """
 
     __slots__ = ("sim", "_callbacks", "_value", "_ok", "triggered")
+
+    #: Free list shared by all simulators (events carry no cross-run
+    #: state once recycled).
+    _free: list = []
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -45,6 +74,32 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self.triggered = False
+
+    @classmethod
+    def acquire(cls, sim: "Simulator") -> "Event":
+        """A fresh pending event, reusing a recycled one if available."""
+        free = cls._free
+        if free:
+            ev = free.pop()
+            ev.sim = sim
+            ev._value = None
+            ev._ok = None
+            ev.triggered = False
+            return ev
+        return cls(sim)
+
+    def recycle(self) -> None:
+        """Return this event to the free list for reuse.
+
+        The caller asserts ownership: no other component may still hold
+        a reference or expect a callback.  Pending callbacks make the
+        event unreclaimable and raise.
+        """
+        if self._callbacks:
+            raise SimulationError(
+                "cannot recycle an event with pending callbacks")
+        self.sim = None  # break the reference cycle while parked
+        Event._free.append(self)
 
     @property
     def value(self) -> Any:
@@ -62,6 +117,19 @@ class Event:
             self.sim.call(0.0, fn, self)
         else:
             self._callbacks.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> bool:
+        """Detach a pending callback; True if it was registered.
+
+        Lets race constructs (:meth:`Simulator.any_of`) drop their
+        closures from losing events instead of leaking them for the
+        event's lifetime.
+        """
+        try:
+            self._callbacks.remove(fn)
+            return True
+        except ValueError:
+            return False
 
     def succeed(self, value: Any = None) -> "Event":
         self._trigger(True, value)
@@ -186,53 +254,96 @@ class Simulator:
 
         sim = Simulator()
         sim.call(1e-6, my_callback, arg)        # callback API (hot path)
+        handle = sim.schedule_timer(1e-3, rto_fired)   # cancellable
         sim.process(my_generator())              # process API
         sim.run(until=0.01)
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_stopped", "_n_dispatched",
-                 "_dispatch_hook")
+    __slots__ = ("now", "_heap", "_seq", "_stopped", "_n_dispatched",
+                 "_dispatch_hook", "_wheel")
 
     def __init__(self) -> None:
-        self._now = 0.0
+        #: Current simulation time in seconds.  A plain attribute — the
+        #: datapath reads it hundreds of thousands of times per run and
+        #: a property call per read is measurable; treat it as
+        #: read-only outside the engine.
+        self.now = 0.0
         self._heap: list = []
         self._seq = 0
         self._stopped = False
         self._n_dispatched = 0
         self._dispatch_hook: Optional[Callable] = None
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
+        #: Created lazily on the first schedule_timer() call; plain
+        #: call()/at() traffic never pays for it.
+        self._wheel: Optional[TimerWheel] = None
 
     @property
     def events_dispatched(self) -> int:
-        """Total number of callbacks dispatched so far."""
+        """Total number of callbacks dispatched so far.
+
+        Counts user callbacks only: cancelled timers and timer-wheel
+        service visits are skipped without incrementing this counter.
+        """
         return self._n_dispatched
 
     def at(self, time: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute simulation ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time} < now {self._now}"
+                f"cannot schedule at {time} < now {self.now}"
             )
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn, args))
+        seq = self._seq = self._seq + 1
+        heappush(self._heap, [time, seq, fn, args])
 
     def call(self, delay: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` after ``delay`` seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        seq = self._seq = self._seq + 1
+        heappush(self._heap, [self.now + delay, seq, fn, args])
+
+    def schedule_timer(self, delay: float, fn: Callable,
+                       *args: Any) -> TimerHandle:
+        """Schedule ``fn(*args)`` after ``delay`` seconds, cancellably.
+
+        Same dispatch semantics as :meth:`call` (identical time and
+        tie-break ordering), but the entry is filed through the
+        hierarchical timer wheel and the returned
+        :class:`~repro.sim.wheel.TimerHandle` cancels it in O(1).
+        Cancelled timers are never dispatched — not even as no-ops —
+        and do not count toward :attr:`events_dispatched`.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        seq = self._seq = self._seq + 1
+        entry = [self.now + delay, seq, fn, args]
+        wheel = self._wheel
+        if wheel is None:
+            wheel = self._wheel = TimerWheel(self._emit_entry,
+                                             self._arm_service)
+        wheel.schedule(entry, self.now)
+        return TimerHandle(entry)
+
+    def _emit_entry(self, entry: list) -> None:
+        """Timer-wheel callback: a timer entry migrates into the heap
+        with its original (time, seq) key, so order is unchanged."""
+        heappush(self._heap, entry)
+
+    def _arm_service(self, time: float, key: Any) -> None:
+        """Timer-wheel callback: request a bucket-service visit.
+
+        seq ``-1`` sorts the visit ahead of every user event at the
+        same timestamp, so a bucket is always drained before any
+        same-time user event can dispatch.
+        """
+        heappush(self._heap, [time, -1, None, key])
 
     def event(self) -> Event:
-        return Event(self)
+        return Event.acquire(self)
 
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event that succeeds after ``delay`` seconds."""
-        ev = Event(self)
+        ev = Event.acquire(self)
         self.call(delay, ev.succeed, value)
         return ev
 
@@ -240,14 +351,24 @@ class Simulator:
         return Process(self, gen, name=name)
 
     def any_of(self, events: Iterable[Event]) -> Event:
-        """An event that succeeds when the first of ``events`` does."""
+        """An event that succeeds when the first of ``events`` does.
+
+        The winner detaches the race's callback from every still-pending
+        loser, so long-lived events that keep losing races do not
+        accumulate dead closures.
+        """
         out = Event(self)
+        entrants = list(events)
 
         def fire(ev: Event) -> None:
             if not out.triggered:
                 out.succeed(ev.value)
+                for other in entrants:
+                    if other is not ev and not other.triggered:
+                        other.remove_callback(fire)
+                entrants.clear()
 
-        for ev in events:
+        for ev in entrants:
             ev.add_callback(fire)
         return out
 
@@ -288,7 +409,7 @@ class Simulator:
         profiler can time it).  ``None`` restores direct dispatch.  The
         loop in :meth:`run` reads the hook once per ``run`` call, so a
         change takes effect at the next ``run``; with no hook the loop
-        pays a single ``is None`` branch per event.
+        pays nothing for the feature.
         """
         self._dispatch_hook = hook
 
@@ -303,21 +424,86 @@ class Simulator:
         self._stopped = False
         heap = self._heap
         hook = self._dispatch_hook
-        while heap and not self._stopped:
-            time, _seq, fn, args = heap[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(heap)
-            self._now = time
-            self._n_dispatched += 1
-            if hook is None:
-                fn(*args)
+        pop = heappop
+        n = 0
+        try:
+            if hook is not None:
+                n = self._run_hooked(hook, until)
+            elif until is None:
+                while heap:
+                    t, _seq, fn, args = pop(heap)
+                    if fn is None:
+                        if args is not None:
+                            self._wheel.service(args, t)
+                        continue
+                    self.now = t
+                    n += 1
+                    fn(*args)
+                    if self._stopped:
+                        break
             else:
-                hook(time, fn, args)
-        if until is not None and self._now < until and not self._stopped:
-            self._now = until
-        return self._now
+                while heap:
+                    entry = pop(heap)
+                    t, _seq, fn, args = entry
+                    if t > until:
+                        heappush(heap, entry)
+                        break
+                    if fn is None:
+                        if args is not None:
+                            self._wheel.service(args, t)
+                        continue
+                    self.now = t
+                    n += 1
+                    fn(*args)
+                    if self._stopped:
+                        break
+        finally:
+            self._n_dispatched += n
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        return self.now
+
+    def _run_hooked(self, hook: Callable, until: Optional[float]) -> int:
+        """Slow-path loop used while a dispatch hook (profiler) is set."""
+        heap = self._heap
+        n = 0
+        try:
+            while heap:
+                entry = heappop(heap)
+                t, _seq, fn, args = entry
+                if until is not None and t > until:
+                    heappush(heap, entry)
+                    break
+                if fn is None:
+                    if args is not None:
+                        self._wheel.service(args, t)
+                    continue
+                self.now = t
+                n += 1
+                hook(t, fn, args)
+                if self._stopped:
+                    break
+        finally:
+            # run() adds the returned n once more only on a clean exit,
+            # so account here and return 0 to keep the total exact.
+            self._n_dispatched += n
+        return 0
 
     def peek(self) -> Optional[float]:
-        """Time of the next scheduled event, or None if the heap is empty."""
-        return self._heap[0][0] if self._heap else None
+        """Time of the next scheduled event, or None if none is pending.
+
+        Skims engine housekeeping off the top of the heap: cancelled
+        timers are discarded, and wheel buckets whose service time has
+        reached the top are expanded (early expansion is safe — entries
+        keep their original keys) until a real event surfaces.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2] is None:
+                heappop(heap)
+                if entry[3] is not None:
+                    self._wheel.service(entry[3], entry[0])
+                continue
+            return entry[0]
+        return None

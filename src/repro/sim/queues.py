@@ -71,17 +71,20 @@ class ByteQueue:
         """Enqueue if it fits; otherwise drop (tail drop) and return False."""
         if size_bytes < 0:
             raise ValueError(f"negative size {size_bytes}")
-        if self._bytes + size_bytes > self.capacity_bytes:
+        used = self._bytes
+        if used + size_bytes > self.capacity_bytes:
             self.dropped_count += 1
             self.dropped_bytes += size_bytes
             return False
-        self._account()
-        self._items.append((item, size_bytes, self.sim.now))
-        self._bytes += size_bytes
+        now = self.sim.now
+        self._occupancy_integral += used * (now - self._last_change)
+        self._last_change = now
+        self._items.append((item, size_bytes, now))
+        used = self._bytes = used + size_bytes
         self.enqueued_count += 1
         self.enqueued_bytes += size_bytes
-        if self._bytes > self.peak_bytes:
-            self.peak_bytes = self._bytes
+        if used > self.peak_bytes:
+            self.peak_bytes = used
         return True
 
     def pop(self) -> Optional[Tuple[Any, int, float]]:
@@ -93,7 +96,9 @@ class ByteQueue:
         """
         if not self._items:
             return None
-        self._account()
+        now = self.sim.now
+        self._occupancy_integral += self._bytes * (now - self._last_change)
+        self._last_change = now
         item, size, t_in = self._items.popleft()
         self._bytes -= size
         self.dequeued_count += 1

@@ -61,10 +61,14 @@ class CreditPool:
             raise SimulationError(
                 f"requested {n} credits > capacity {self.capacity}"
             )
-        if self._waiters or self._available < n:
+        available = self._available
+        if self._waiters or available < n:
             return False
-        self._account()
-        self._available -= n
+        now = self.sim.now
+        self._in_use_integral += ((self.capacity - available)
+                                  * (now - self._last_change))
+        self._last_change = now
+        self._available = available - n
         return True
 
     def acquire(self, n: int, callback: Callable[[], None]) -> None:
@@ -85,7 +89,9 @@ class CreditPool:
             self._waiters.append((n, callback))
 
     def release(self, n: int = 1) -> None:
-        self._account()
+        now = self.sim.now
+        self._in_use_integral += self.in_use * (now - self._last_change)
+        self._last_change = now
         self._available += n
         if self._available > self.capacity:
             raise SimulationError("released more credits than acquired")

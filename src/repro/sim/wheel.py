@@ -1,0 +1,208 @@
+"""Hierarchical timer wheel with cancellable handles.
+
+The engine's binary heap is perfect for the datapath (every event fires)
+but wasteful for protocol timers: an RTO that is re-armed on every
+transmission leaves a trail of entries that sift through the heap only
+to be discarded.  The classic fix (Varghese & Lauck) is a timer wheel —
+O(1) schedule and cancel — backed by a lazy heap for timers beyond the
+wheel's horizon.
+
+The wheel here is *hashed and hierarchical*: ``levels`` levels of
+``2**slot_bits`` buckets, where a level-``k`` bucket spans
+``2**(slot_bits*k)`` ticks.  Buckets are kept in a dict keyed by
+``(level, absolute_bucket_index)``, so the structure is sparse and
+rotation ambiguity cannot arise.  A timer due within the current tick
+bypasses the wheel entirely and is emitted straight to the engine heap.
+
+Integration contract (see :class:`repro.sim.engine.Simulator`):
+
+- ``emit(entry)`` pushes a ``[time, seq, fn, args]`` heap entry into the
+  engine's heap.  Entries keep their original ``(time, seq)`` keys, so
+  transferring them early never changes dispatch order — the heap does
+  all the final ordering.
+- ``arm(time, key)`` schedules a *service* visit at ``time`` (a bucket's
+  open time).  The engine encodes services as ``[time, -1, None, key]``
+  entries: the ``-1`` sequence number sorts services ahead of every user
+  event at the same timestamp, so a bucket is always drained into the
+  heap before any same-time user event can dispatch.  Services are
+  engine housekeeping and are **not** counted in ``events_dispatched``.
+
+The default ``tick`` is dyadic (``2**-20`` s ≈ 0.95 µs) so tick-index
+arithmetic (``time * 2**20``) is exact in floating point.
+
+Cancellation marks the entry dead in place (``entry[2] = entry[3] =
+None``).  A dead entry still parked in a bucket is dropped at service
+time and never reaches the heap; one that already migrated to the heap
+is skipped — uncounted — by the dispatch loop.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["OVERFLOW", "TimerHandle", "TimerWheel"]
+
+#: Service key for the far-future overflow heap (beyond the top level's
+#: horizon).  Any non-tuple sentinel works; a string keeps repr readable.
+OVERFLOW = "overflow"
+
+
+class TimerHandle:
+    """Cancellation handle for one scheduled timer.
+
+    ``cancel()`` is O(1) and idempotent: it blanks the underlying heap
+    entry in place, so no structure needs to be searched.  Cancelling a
+    timer that already fired is a harmless no-op (the entry has left the
+    heap; blanking it affects nothing).
+    """
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list):
+        self._entry = entry
+
+    def cancel(self) -> bool:
+        """Prevent the timer from firing; True if it was still pending
+        as far as this handle can tell (False on repeated cancels)."""
+        entry = self._entry
+        if entry is None:
+            return False
+        self._entry = None
+        if entry[2] is None:
+            return False
+        entry[2] = None
+        entry[3] = None
+        return True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has run."""
+        return self._entry is None
+
+    @property
+    def when(self) -> Optional[float]:
+        """Scheduled fire time, or None after cancellation."""
+        return self._entry[0] if self._entry is not None else None
+
+
+class TimerWheel:
+    """Sparse hierarchical wheel over engine heap entries."""
+
+    __slots__ = ("tick", "slot_bits", "levels", "_inv_tick", "_horizon",
+                 "_buckets", "_overflow", "_overflow_armed", "_emit",
+                 "_arm")
+
+    def __init__(
+        self,
+        emit: Callable[[list], None],
+        arm: Callable[[float, Any], None],
+        tick: float = 2.0 ** -20,
+        slot_bits: int = 8,
+        levels: int = 3,
+    ):
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        if slot_bits < 1 or levels < 1:
+            raise ValueError("need at least one bit and one level")
+        self.tick = tick
+        self.slot_bits = slot_bits
+        self.levels = levels
+        self._inv_tick = 1.0 / tick
+        #: Ticks covered by the whole wheel; beyond it timers overflow
+        #: into the lazy heap.
+        self._horizon = 1 << (slot_bits * levels)
+        self._buckets: Dict[Tuple[int, int], List[list]] = {}
+        self._overflow: List[list] = []
+        self._overflow_armed: Optional[float] = None
+        self._emit = emit
+        self._arm = arm
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, entry: list, now: float) -> None:
+        """File ``entry = [time, seq, fn, args]`` relative to ``now``."""
+        self._place(entry, int(now * self._inv_tick))
+
+    def _place(self, entry: list, now_ticks: int) -> None:
+        time_ticks = int(entry[0] * self._inv_tick)
+        dt = time_ticks - now_ticks
+        if dt <= 0:
+            # Due within the current tick: the heap orders it exactly.
+            self._emit(entry)
+            return
+        if dt < self._horizon:
+            bits = self.slot_bits
+            level = 0
+            while dt >= (1 << (bits * (level + 1))):
+                level += 1
+            shift = bits * level
+            bucket = time_ticks >> shift
+            key = (level, bucket)
+            slot = self._buckets.get(key)
+            if slot is None:
+                self._buckets[key] = [entry]
+                # Bucket open times are exact: dyadic tick x integer.
+                self._arm((bucket << shift) * self.tick, key)
+            else:
+                slot.append(entry)
+            return
+        heappush(self._overflow, entry)
+        self._arm_overflow(now_ticks)
+
+    def _arm_overflow(self, now_ticks: int) -> None:
+        """(Re-)arm the overflow re-examination service for the current
+        earliest far-future timer."""
+        if not self._overflow:
+            self._overflow_armed = None
+            return
+        top_ticks = int(self._overflow[0][0] * self._inv_tick)
+        reexam_ticks = max(now_ticks + 1, top_ticks - self._horizon + 1)
+        reexam = reexam_ticks * self.tick
+        if self._overflow_armed is None or reexam < self._overflow_armed:
+            self._overflow_armed = reexam
+            self._arm(reexam, OVERFLOW)
+
+    # -- servicing ----------------------------------------------------------
+
+    def service(self, key: Any, now: float) -> None:
+        """A service entry fired: cascade one bucket (or the overflow
+        heap) toward the engine.  Dead (cancelled) entries are dropped
+        here and never reach the heap."""
+        now_ticks = int(now * self._inv_tick)
+        if key is OVERFLOW or key == OVERFLOW:
+            self._overflow_armed = None
+            overflow = self._overflow
+            horizon = self._horizon
+            while overflow:
+                top = overflow[0]
+                if top[2] is None:
+                    heappop(overflow)
+                    continue
+                if int(top[0] * self._inv_tick) - now_ticks >= horizon:
+                    break
+                self._place(heappop(overflow), now_ticks)
+            self._arm_overflow(now_ticks)
+            return
+        slot = self._buckets.pop(key, None)
+        if slot:
+            place = self._place
+            for entry in slot:
+                if entry[2] is not None:
+                    place(entry, now_ticks)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Live (un-cancelled) timers still parked in the wheel — for
+        tests and debugging, not the hot path."""
+        n = sum(1 for slot in self._buckets.values()
+                for entry in slot if entry[2] is not None)
+        return n + sum(1 for entry in self._overflow
+                       if entry[2] is not None)
+
+    def __repr__(self) -> str:
+        return (f"TimerWheel(tick={self.tick!r}, "
+                f"buckets={len(self._buckets)}, "
+                f"overflow={len(self._overflow)})")

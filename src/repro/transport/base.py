@@ -96,6 +96,7 @@ class Connection(Component):
         self.srtt = initial_rtt
         self._next_send_time = 0.0
         self._send_scheduled = False
+        self._send_timer = None
         self._last_ack_time = sim.now
         # Statistics.
         self.packets_sent = 0
@@ -104,10 +105,12 @@ class Connection(Component):
         self.losses_detected = 0
         self.timeouts = 0
 
-        #: True iff an _rto_check event is pending (armed on transmit,
+        #: True iff an _rto_check timer is pending (armed on transmit,
         #: disarmed when nothing is in flight — keeps idle flows off the
-        #: event heap in large-N sweeps).
+        #: event heap in large-N sweeps).  The timer itself lives in the
+        #: engine's timer wheel, not the dispatch heap.
         self._rto_armed = False
+        self._rto_timer = None
 
         sim.call(0.0, self._maybe_send)
 
@@ -140,6 +143,7 @@ class Connection(Component):
 
     def _maybe_send(self) -> None:
         self._send_scheduled = False
+        self._send_timer = None
         now = self.sim.now
         # Fast retransmit: a lost packet's window slot is already
         # accounted for, so retransmissions bypass the window check
@@ -166,7 +170,8 @@ class Connection(Component):
     def _schedule_send(self, delay: float) -> None:
         if not self._send_scheduled:
             self._send_scheduled = True
-            self.sim.call(delay, self._maybe_send)
+            self._send_timer = self.sim.schedule_timer(
+                delay, self._maybe_send)
 
     def _transmit_next(self) -> None:
         if self._retx_queue:
@@ -184,7 +189,7 @@ class Connection(Component):
         # Re-insert at the tail so _inflight stays in tx order.
         self._inflight.pop(seq, None)
         self._inflight[seq] = record
-        pkt = Packet(
+        pkt = Packet.acquire(
             flow_id=self.flow_id,
             seq=seq,
             payload_bytes=self.payload_bytes,
@@ -236,12 +241,17 @@ class Connection(Component):
     def _arm_rto(self) -> None:
         if not self._rto_armed:
             self._rto_armed = True
-            self.sim.call(self.rto, self._rto_check)
+            self._rto_timer = self.sim.schedule_timer(
+                self.rto, self._rto_check)
 
     def _rto_check(self) -> None:
         now = self.sim.now
+        self._rto_timer = None
         if not self._inflight:
             # Nothing to back-stop: disarm until the next transmission.
+            # (The check itself stays on the rto/2 grid while armed —
+            # cancelling it early would shift the polling phase and
+            # change timeout detection times.)
             self._rto_armed = False
             return
         oldest = next(iter(self._inflight.values()))
@@ -252,7 +262,20 @@ class Connection(Component):
             self.timeouts += 1
             self.cc.on_timeout(now)
             self._maybe_send()
-        self.sim.call(self.rto / 2, self._rto_check)
+        self._rto_timer = self.sim.schedule_timer(
+            self.rto / 2, self._rto_check)
+
+    def cancel_timers(self) -> None:
+        """Tear down pending timers (flow shutdown): O(1) cancels, and
+        the dead entries never reach the dispatch heap."""
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+            self._rto_armed = False
+        if self._send_timer is not None:
+            self._send_timer.cancel()
+            self._send_timer = None
+            self._send_scheduled = False
 
     # -- telemetry ----------------------------------------------------------
 

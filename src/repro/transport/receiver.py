@@ -18,12 +18,18 @@ __all__ = ["ReceiverEndpoint"]
 
 
 class _FlowState:
-    __slots__ = ("received", "messages_done", "message_latencies")
+    __slots__ = ("received", "messages_done", "message_latencies",
+                 "read_counts")
 
     def __init__(self):
         self.received: Set[int] = set()
         self.messages_done = 0
         self.message_latencies: List[float] = []
+        #: read_id -> distinct packets seen; a read completes when its
+        #: count reaches packets-per-read (each distinct seq maps to
+        #: exactly one read, so this equals the full-range membership
+        #: scan it replaces, without the O(packets_per_read) probe).
+        self.read_counts: Dict[int, int] = {}
 
 
 class ReceiverEndpoint(Component):
@@ -80,7 +86,11 @@ class ReceiverEndpoint(Component):
             host_delay=pkt.host_delay(),
             ecn_echo=pkt.ecn_marked,
         )
-        self.send_ack(ack, pkt.thread_id)
+        thread_id = pkt.thread_id
+        # The endpoint is the packet's final consumer; everything the
+        # ACK needs has been copied out, so the buffer can be recycled.
+        pkt.release()
+        self.send_ack(ack, thread_id)
 
     def packets_per_read_for(self, flow_id: int) -> int:
         return self.per_flow_packets.get(flow_id, self.packets_per_read)
@@ -92,9 +102,11 @@ class ReceiverEndpoint(Component):
         start = self._read_start.get(key)
         if start is None or pkt.sent_time < start:
             self._read_start[key] = pkt.sent_time
-        first = read_id * ppr
-        if all(first + i in state.received
-               for i in range(ppr)):
+        count = state.read_counts.get(read_id, 0) + 1
+        if count < ppr:
+            state.read_counts[read_id] = count
+        else:
+            state.read_counts.pop(read_id, None)
             latency = self.now() - self._read_start.pop(key)
             state.messages_done += 1
             if len(state.message_latencies) < self.max_latency_samples:

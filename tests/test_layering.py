@@ -1,5 +1,6 @@
 """The layering lint: clean on the real tree, loud on a violation."""
 
+import ast
 import subprocess
 import sys
 from pathlib import Path
@@ -21,6 +22,26 @@ def test_real_tree_is_clean():
     for package in ("sim", "net", "obs", "host", "transport",
                     "workload", "core", "analysis", "cli"):
         assert package in proc.stdout
+
+
+def test_timer_wheel_is_layer_zero_leaf():
+    """``repro.sim.wheel`` is the bottom of the dependency graph: the
+    lint covers it as part of the sim layer (layer 0, no upward
+    imports), and — stricter than the layer rule — it must not import
+    any ``repro`` module at all, so the engine hot path it serves never
+    grows hidden dependencies."""
+    path = REPO / "src" / "repro" / "sim" / "wheel.py"
+    tree = ast.parse(path.read_text(), filename=str(path))
+    repro_imports = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            repro_imports += [a.name for a in node.names
+                              if a.name.split(".")[0] == "repro"]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "repro":
+                repro_imports.append(node.module)
+    assert repro_imports == [], (
+        f"sim/wheel.py must stay a leaf module, imports {repro_imports}")
 
 
 def test_upward_import_is_flagged(tmp_path):

@@ -8,6 +8,7 @@ from repro.net.link import Link
 from repro.net.packet import Ack, Packet
 from repro.net.switch import SwitchPort
 from repro.sim import Simulator
+from repro.sim.engine import SimulationError
 
 
 def pkt(seq=0, wire=4452, flow=0, thread=0):
@@ -18,7 +19,7 @@ def pkt(seq=0, wire=4452, flow=0, thread=0):
 class TestPacket:
     def test_host_delay_requires_timestamps(self):
         p = pkt()
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             p.host_delay()
         p.nic_arrival_time = 1.0
         p.cpu_done_time = 1.5
@@ -28,6 +29,72 @@ class TestPacket:
         assert "flow=3" in repr(pkt(flow=3))
         assert "Ack(flow=1" in repr(
             Ack(flow_id=1, seq=2, sent_time_echo=0.0, host_delay=0.0))
+
+
+class TestPacketPool:
+    def setup_method(self):
+        # Isolate each test from pool contents left by earlier tests.
+        Packet._pool.clear()
+
+    def teardown_method(self):
+        Packet._pool.clear()
+
+    def test_acquire_reuses_released_packet(self):
+        p = Packet.acquire(flow_id=1, seq=2, payload_bytes=4096,
+                           wire_bytes=4452, sent_time=0.5, thread_id=3)
+        p.ecn_marked = True
+        p.nic_arrival_time = 1.0
+        p.dma_done_time = 1.1
+        p.cpu_done_time = 1.2
+        p.release()
+        q = Packet.acquire(flow_id=9, seq=0, payload_bytes=100,
+                           wire_bytes=164, sent_time=2.0, thread_id=0,
+                           is_retransmission=True)
+        assert q is p  # recycled, not reallocated
+        # ... and every slot was re-stamped.
+        assert (q.flow_id, q.seq, q.payload_bytes, q.wire_bytes) == \
+            (9, 0, 100, 164)
+        assert q.sent_time == 2.0
+        assert q.thread_id == 0
+        assert q.is_retransmission is True
+        assert q.ecn_marked is False
+        assert q.nic_arrival_time is None
+        assert q.dma_done_time is None
+        assert q.cpu_done_time is None
+
+    def test_acquire_constructs_when_pool_empty(self):
+        a = Packet.acquire(flow_id=0, seq=0, payload_bytes=1,
+                           wire_bytes=65, sent_time=0.0, thread_id=0)
+        b = Packet.acquire(flow_id=0, seq=1, payload_bytes=1,
+                           wire_bytes=65, sent_time=0.0, thread_id=0)
+        assert a is not b
+
+    def test_double_release_raises(self):
+        p = pkt()
+        p.release()
+        with pytest.raises(SimulationError, match="double release"):
+            p.release()
+
+    def test_released_packet_host_delay_unstamped(self):
+        # A recycled packet must not leak the previous life's timestamps
+        # into host_delay().
+        p = pkt()
+        p.nic_arrival_time = 1.0
+        p.cpu_done_time = 2.0
+        p.release()
+        q = Packet.acquire(flow_id=0, seq=0, payload_bytes=1,
+                           wire_bytes=65, sent_time=0.0, thread_id=0)
+        assert q is p
+        with pytest.raises(SimulationError):
+            q.host_delay()
+
+    def test_pool_is_bounded(self):
+        from repro.net.packet import _POOL_LIMIT
+        Packet._pool.extend(pkt(seq=i) for i in range(_POOL_LIMIT))
+        overflow = pkt(seq=-1)
+        overflow.release()  # no room: dropped for the GC, no error
+        assert len(Packet._pool) == _POOL_LIMIT
+        assert overflow not in Packet._pool
 
 
 class TestLink:

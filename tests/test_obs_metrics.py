@@ -107,6 +107,72 @@ class TestHistogram:
             Histogram("h", reservoir=0)
 
 
+class TestDeferredFlush:
+    """Deferred aggregation must be invisible: buffering samples locally
+    and flushing at snapshot/reset boundaries yields byte-identical
+    histogram state to eager per-event observation — including the
+    reservoir RNG, which must advance exactly as under eager observes
+    (warmup samples replay through the reservoir before ``reset()``)."""
+
+    @staticmethod
+    def drive(registry, hist, feed):
+        """Observe 3 windows of samples through ``feed(value)``,
+        snapshotting after each and resetting between the first two.
+        More samples than the reservoir, so algorithm R's RNG is
+        exercised across the window boundary."""
+        snapshots = []
+        for window in range(3):
+            for i in range(700):  # 700 > reservoir of 256
+                feed(float(window * 10_000 + i * 7 % 997))
+            snapshots.append(registry.snapshot())
+            if window == 0:
+                registry.reset_window()
+        return snapshots, list(hist._reservoir)
+
+    def test_buffered_flush_equals_eager_observation(self):
+        eager_reg = MetricsRegistry()
+        eager_hist = eager_reg.histogram("lat", "nic", reservoir=256)
+        eager_snaps, eager_res = self.drive(
+            eager_reg, eager_hist, eager_hist.observe)
+
+        deferred_reg = MetricsRegistry()
+        deferred_hist = deferred_reg.histogram("lat", "nic", reservoir=256)
+        pending = []
+
+        def flush():
+            for value in pending:
+                deferred_hist.observe(value)
+            pending.clear()
+
+        deferred_reg.add_flush_callback(flush)
+        deferred_snaps, deferred_res = self.drive(
+            deferred_reg, deferred_hist, pending.append)
+
+        assert pending == []  # snapshot() drained the buffer
+        assert deferred_snaps == eager_snaps
+        assert deferred_res == eager_res
+
+    def test_flush_runs_before_reset_window(self):
+        # Samples buffered during warmup must pass through the
+        # histogram (advancing its RNG) before reset clears them.
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", reservoir=4)
+        pending = [1.0, 2.0, 3.0]
+        reg.add_flush_callback(
+            lambda: (hist.observe(pending.pop(0)) if pending else None))
+        reg.reset_window()
+        assert hist.count == 0  # the flushed sample was then reset away
+        assert pending == [2.0, 3.0]  # but it did flush first
+
+    def test_flush_callbacks_run_in_registration_order(self):
+        reg = MetricsRegistry()
+        order = []
+        reg.add_flush_callback(lambda: order.append("a"))
+        reg.add_flush_callback(lambda: order.append("b"))
+        reg.flush()
+        assert order == ["a", "b"]
+
+
 class TestMetricsRegistry:
     def test_full_names_are_component_scoped(self):
         reg = MetricsRegistry()

@@ -161,6 +161,51 @@ class TestEvent:
         ev = sim.all_of([])
         assert ev.triggered
 
+    def test_any_of_detaches_callbacks_from_losers(self):
+        # Regression: any_of used to leave its `fire` closure on every
+        # losing event forever.  A long-lived event that loses many
+        # races then accumulates dead callbacks — each carrying the
+        # whole race's entrant list — until the event finally triggers.
+        sim = Simulator()
+        long_lived = sim.event()
+        for i in range(10_000):
+            sim.any_of([long_lived, sim.timeout(1e-9 * (i + 1), i)])
+        sim.run()
+        assert long_lived._callbacks == [], (
+            f"{len(long_lived._callbacks)} leaked race callbacks")
+
+    def test_any_of_winner_value_wins_with_shared_loser(self):
+        # Same race shape as the leak test, but checking semantics:
+        # every race resolves with its timeout's value, and the shared
+        # loser firing later does not re-trigger resolved races.
+        sim = Simulator()
+        shared = sim.event()
+        got = []
+        for i in range(50):
+            sim.any_of([shared, sim.timeout(1e-9, i)]).add_callback(
+                lambda e: got.append(e.value))
+        sim.run()
+        shared.succeed("late")
+        sim.run()
+        assert sorted(got) == list(range(50))
+
+    def test_event_recycle_roundtrip(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(7)
+        ev.recycle()
+        again = sim.event()
+        assert again is ev
+        assert again.triggered is False
+        assert again.value is None
+
+    def test_recycle_with_pending_callbacks_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.add_callback(lambda e: None)
+        with pytest.raises(SimulationError):
+            ev.recycle()
+
 
 class TestProcess:
     def test_process_sleeps_on_numeric_yield(self):

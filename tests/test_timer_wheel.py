@@ -1,0 +1,269 @@
+"""The hierarchical timer wheel, checked against a plain-heap oracle.
+
+The wheel's contract is *behavioural equivalence*: for any mix of
+delays — sub-tick, each wheel level, and beyond the horizon — timers
+filed through ``schedule_timer`` must fire in exactly the order and at
+exactly the times that ``call`` (pure heap) produces, with the same
+``events_dispatched`` count.  On top of that, cancellation must be
+invisible: a cancelled timer never fires, is never counted, and leaves
+every surviving timer's order untouched.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import SimulationError
+from repro.sim.wheel import OVERFLOW, TimerWheel
+
+# Wheel geometry under test (the engine's defaults): tick = 2**-20 s,
+# 8 bits/level, 3 levels -> horizon = 2**24 ticks = 16 s.
+TICK = 2.0 ** -20
+HORIZON_S = (1 << 24) * TICK
+
+#: Delay pools spanning every placement path in the wheel.
+DELAY_BANDS = (
+    (0.0, TICK),                      # sub-tick: emitted straight to heap
+    (TICK, (1 << 8) * TICK),          # level 0
+    ((1 << 8) * TICK, (1 << 16) * TICK),   # level 1
+    ((1 << 16) * TICK, HORIZON_S),    # level 2
+    (HORIZON_S, 4 * HORIZON_S),       # overflow heap
+)
+
+
+def random_delays(rng, n):
+    """``n`` delays, cycling through all bands with random jitter."""
+    delays = []
+    for i in range(n):
+        lo, hi = DELAY_BANDS[i % len(DELAY_BANDS)]
+        delays.append(rng.uniform(lo, hi))
+    return delays
+
+
+class TestAgainstHeapOracle:
+    def check_equivalence(self, delays, cancel_every=0):
+        """Schedule ``delays`` on a wheel sim (schedule_timer) and an
+        oracle sim (call); the fire logs must match exactly."""
+        wheel_log, oracle_log = [], []
+
+        wheel_sim = Simulator()
+        handles = []
+        for i, d in enumerate(delays):
+            handles.append(wheel_sim.schedule_timer(
+                d, lambda i=i: wheel_log.append((wheel_sim.now, i))))
+        cancelled = set()
+        if cancel_every:
+            for i in range(0, len(delays), cancel_every):
+                assert handles[i].cancel()
+                cancelled.add(i)
+        wheel_sim.run()
+
+        oracle_sim = Simulator()
+        for i, d in enumerate(delays):
+            if i not in cancelled:
+                oracle_sim.call(
+                    d, lambda i=i: oracle_log.append((oracle_sim.now, i)))
+        oracle_sim.run()
+
+        assert wheel_log == oracle_log
+        assert wheel_sim.events_dispatched == oracle_sim.events_dispatched \
+            == len(delays) - len(cancelled)
+
+    def test_all_bands_fire_in_oracle_order(self):
+        rng = random.Random(0xC0FFEE)
+        self.check_equivalence(random_delays(rng, 500))
+
+    def test_all_bands_with_cancellations(self):
+        rng = random.Random(0xBEEF)
+        self.check_equivalence(random_delays(rng, 500), cancel_every=3)
+
+    def test_equal_time_timers_keep_insertion_order(self):
+        # Many timers at the exact same instant: seq must break the tie
+        # identically on both paths, across bucket-service boundaries.
+        delays = [1e-3] * 50 + [2.5] * 50 + [20.0] * 50
+        self.check_equivalence(delays)
+
+    def test_interleaved_call_and_schedule_timer(self):
+        # call() and schedule_timer() share one seq counter, so mixing
+        # them at equal times must still dispatch in insertion order.
+        sim = Simulator()
+        log = []
+        for i in range(20):
+            if i % 2:
+                sim.schedule_timer(1e-3, log.append, i)
+            else:
+                sim.call(1e-3, log.append, i)
+        sim.run()
+        assert log == list(range(20))
+
+    def test_incremental_scheduling_from_callbacks(self):
+        # Timers scheduled from within timer callbacks (the RTO re-arm
+        # pattern) — `now` keeps moving, so placement uses fresh ticks.
+        rng = random.Random(7)
+        wheel_log, oracle_log = [], []
+
+        def drive(sim, log, schedule):
+            def step(remaining):
+                log.append(sim.now)
+                if remaining:
+                    schedule(rng.uniform(0, 0.4), step, remaining - 1)
+
+            schedule(0.0, step, 200)
+            sim.run()
+
+        sim_w = Simulator()
+        drive(sim_w, wheel_log, sim_w.schedule_timer)
+        rng = random.Random(7)  # identical delay sequence for the oracle
+        sim_o = Simulator()
+        drive(sim_o, oracle_log, sim_o.call)
+        assert wheel_log == oracle_log
+
+
+class TestCancellation:
+    def test_cancelled_timer_never_fires_nor_counts(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule_timer(1e-3, fired.append, "keep")
+        kill = sim.schedule_timer(1e-3, fired.append, "kill")
+        assert kill.cancel()
+        sim.run()
+        assert fired == ["keep"]
+        assert sim.events_dispatched == 1
+        assert keep.cancelled is False
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule_timer(1.0, lambda: None)
+        assert handle.when == pytest.approx(1.0)
+        assert handle.cancel() is True
+        assert handle.cancelled is True
+        assert handle.when is None
+        assert handle.cancel() is False  # second cancel: already dead
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_timer(1e-3, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+        handle.cancel()  # entry already left the heap; nothing happens
+        sim.run()
+        assert fired == [1]
+        assert sim.events_dispatched == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_timer(-1e-9, lambda: None)
+
+    def test_cancel_storm_leaves_survivors_intact(self):
+        # The bench_engine_micro churn pattern: every timer is cancelled
+        # immediately; only the driving chain dispatches.
+        sim = Simulator()
+        fired = []
+
+        def step(remaining):
+            if remaining:
+                sim.schedule_timer(1e-3, fired.append, remaining).cancel()
+                sim.call(1e-9, step, remaining - 1)
+
+        sim.call(0.0, step, 1000)
+        sim.run()
+        assert fired == []
+        assert sim.events_dispatched == 1001
+
+
+class TestOverflowRollover:
+    def test_far_future_timer_fires_exactly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_timer(3 * HORIZON_S, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [pytest.approx(3 * HORIZON_S, abs=2 * TICK)]
+        assert sim.events_dispatched == 1
+
+    def test_overflow_migrates_through_wheel(self):
+        # A timer beyond the horizon must re-enter the wheel via the
+        # OVERFLOW re-examination service, not sit in the lazy heap
+        # until its own fire time.
+        emitted = []
+        services = []
+        wheel = TimerWheel(emitted.append, lambda t, key: services.append(
+            (t, key)))
+        entry = [2 * HORIZON_S, 1, lambda: None, ()]
+        wheel.schedule(entry, 0.0)
+        assert wheel.pending == 1
+        assert emitted == []
+        assert services and services[0][1] is OVERFLOW
+        reexam_time = services[0][0]
+        assert reexam_time < 2 * HORIZON_S
+        # Drive the service at its armed time: the timer now fits the
+        # top wheel level and parks in a bucket (still not emitted).
+        wheel.service(OVERFLOW, reexam_time)
+        assert entry not in wheel._overflow
+        assert wheel.pending == 1
+
+    def test_cancelled_overflow_timer_is_dropped_at_service(self):
+        wheel = TimerWheel(lambda e: None, lambda t, key: None)
+        entry = [2 * HORIZON_S, 1, lambda: None, ()]
+        wheel.schedule(entry, 0.0)
+        entry[2] = entry[3] = None  # cancel in place
+        wheel.service(OVERFLOW, HORIZON_S)
+        assert wheel.pending == 0
+        assert wheel._overflow == []
+
+    def test_overflow_rearms_for_next_timer(self):
+        sim = Simulator()
+        fired = []
+        # Two far-future timers a full horizon apart: the re-exam
+        # service must re-arm itself after absorbing the first.
+        sim.schedule_timer(2 * HORIZON_S, fired.append, "a")
+        sim.schedule_timer(4 * HORIZON_S, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.events_dispatched == 2
+
+
+class TestWheelUnit:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TimerWheel(lambda e: None, lambda t, k: None, tick=0.0)
+        with pytest.raises(ValueError):
+            TimerWheel(lambda e: None, lambda t, k: None, slot_bits=0)
+        with pytest.raises(ValueError):
+            TimerWheel(lambda e: None, lambda t, k: None, levels=0)
+
+    def test_subtick_timer_bypasses_wheel(self):
+        emitted = []
+        wheel = TimerWheel(emitted.append, lambda t, k: None)
+        entry = [TICK / 2, 1, lambda: None, ()]
+        wheel.schedule(entry, 0.0)
+        assert emitted == [entry]
+        assert wheel.pending == 0
+
+    def test_bucket_shared_by_same_window_timers(self):
+        # Two timers in the same level-0 bucket arm only one service.
+        services = []
+        wheel = TimerWheel(lambda e: None, lambda t, k: services.append(k))
+        base = 100 * TICK
+        wheel.schedule([base, 1, lambda: None, ()], 0.0)
+        wheel.schedule([base + TICK / 4, 2, lambda: None, ()], 0.0)
+        assert len(services) == 1
+        assert wheel.pending == 2
+
+    def test_dead_entries_dropped_at_bucket_service(self):
+        emitted = []
+        wheel = TimerWheel(emitted.append, lambda t, k: None)
+        live = [100 * TICK, 1, lambda: None, ()]
+        dead = [100 * TICK, 2, lambda: None, ()]
+        wheel.schedule(live, 0.0)
+        wheel.schedule(dead, 0.0)
+        dead[2] = dead[3] = None
+        (key,) = list(wheel._buckets)
+        wheel.service(key, 100 * TICK)
+        assert emitted == [live]
+
+    def test_repr_mentions_population(self):
+        wheel = TimerWheel(lambda e: None, lambda t, k: None)
+        wheel.schedule([1.0, 1, lambda: None, ()], 0.0)
+        assert "buckets=1" in repr(wheel)
