@@ -1,61 +1,17 @@
 #!/usr/bin/env python3
 """IOMMU contention walk-through (paper §3.1, Figures 3-5 in miniature).
 
-Sweeps receiver cores with the IOMMU on and off, prints the throughput,
-drop-rate, and IOTLB-miss curves, and overlays the Little's-law model
-bound: throughput ≤ C · pkt / (T_base + M · T_miss).
+The study itself is the bundled ``iommu_contention`` scenario spec
+(``src/repro/scenarios/iommu_contention.toml``): receiver cores swept
+with the IOMMU on and off at quick quality.  This script is just its
+CLI invocation — edit the spec, not the code, to change the study.
 
-    python examples/iommu_contention.py [--cores 2 8 12 16]
+    python examples/iommu_contention.py
 """
 
-import argparse
+import sys
 
-from repro import ThroughputModel, baseline_config
-from repro.core.sweep import sweep_receiver_cores
-from repro.core.model import iotlb_working_set
-
-
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--cores", type=int, nargs="+",
-                        default=[2, 6, 8, 10, 12, 16])
-    args = parser.parse_args()
-
-    base = baseline_config(warmup=4e-3, duration=8e-3)
-    print(f"sweeping receiver cores {args.cores} (IOMMU on/off)...\n")
-    table = sweep_receiver_cores(cores=args.cores, base=base)
-
-    header = (f"{'cores':>6} {'IOMMU':>6} {'tput Gbps':>10} "
-              f"{'drop %':>7} {'misses/pkt':>11} {'IOMMU entries':>14} "
-              f"{'model Gbps':>11}")
-    print(header)
-    print("-" * len(header))
-    for result in table:
-        cores = result.params["cores"]
-        iommu = result.params["iommu"]
-        model = ThroughputModel(base)
-        bound = model.predict(
-            misses_per_packet=result.metrics["iotlb_misses_per_packet"]
-            if iommu else 0.0,
-            memory_utilization=result.metrics["memory_utilization"],
-        )
-        # CPU bound depends on this row's core count.
-        bound = min(bound, cores * base.host.cpu.core_rate_bps)
-        print(f"{cores:>6} {str(iommu):>6} "
-              f"{result.metrics['app_throughput_gbps']:>10.1f} "
-              f"{result.metrics['drop_rate'] * 100:>7.2f} "
-              f"{result.metrics['iotlb_misses_per_packet']:>11.2f} "
-              f"{result.metrics['iommu_entries']:>14.0f} "
-              f"{bound / 1e9:>11.1f}")
-
-    host = base.host
-    ws = iotlb_working_set(host)
-    print(f"\nactive IOMMU working set: {ws.pages_per_thread} pages per "
-          f"thread; the {host.iommu.iotlb_entries}-entry IOTLB fills at "
-          f"{host.iommu.iotlb_entries // ws.pages_per_thread} threads —")
-    print("beyond that, misses climb and the interconnect becomes the "
-          "bottleneck (paper Fig. 3).")
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["scenario", "run", "iommu_contention", "--no-cache"]))

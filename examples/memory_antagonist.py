@@ -2,60 +2,20 @@
 """Memory-bus congestion walk-through (paper §3.2, Figure 6 in
 miniature).
 
-Runs the baseline receive workload against an increasing number of
-STREAM antagonist cores and shows the two regimes the paper describes:
-memory bandwidth grows ~linearly, then saturates near 90 GB/s — and
-once it saturates, per-DMA latency inflates and NIC-to-CPU throughput
-collapses even though the access link is far from full.
+The study itself is the bundled ``memory_antagonist`` scenario spec
+(``src/repro/scenarios/memory_antagonist.toml``): increasing STREAM
+antagonist cores against the baseline receive workload, IOMMU off.
+Memory bandwidth grows ~linearly, then saturates near 90 GB/s — and
+once it saturates, NIC-to-CPU throughput collapses even though the
+access link is far from full.  This script is just the spec's CLI
+invocation — edit the spec, not the code, to change the study.
 
-    python examples/memory_antagonist.py [--antagonists 0 6 10 15]
+    python examples/memory_antagonist.py
 """
 
-import argparse
-import dataclasses
+import sys
 
-from repro import baseline_config, run_experiment
-
-
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--antagonists", type=int, nargs="+",
-                        default=[0, 4, 8, 12, 15])
-    parser.add_argument("--iommu", action="store_true",
-                        help="also enable the IOMMU (compounding case)")
-    args = parser.parse_args()
-
-    base = baseline_config(warmup=4e-3, duration=8e-3)
-    if not args.iommu:
-        base = dataclasses.replace(
-            base, host=dataclasses.replace(
-                base.host,
-                iommu=dataclasses.replace(base.host.iommu,
-                                          enabled=False)))
-
-    print(f"IOMMU {'ON' if args.iommu else 'OFF'}; sweeping STREAM "
-          f"antagonist cores {args.antagonists}...\n")
-    header = (f"{'stream cores':>12} {'mem GB/s':>9} {'mem util':>9} "
-              f"{'tput Gbps':>10} {'drop %':>7} {'dma µs':>7}")
-    print(header)
-    print("-" * len(header))
-    for antagonists in args.antagonists:
-        config = dataclasses.replace(
-            base, host=dataclasses.replace(
-                base.host, antagonist_cores=antagonists))
-        result = run_experiment(config)
-        m = result.metrics
-        print(f"{antagonists:>12} {m['memory_total_GBps']:>9.1f} "
-              f"{m['memory_utilization']:>9.2f} "
-              f"{m['app_throughput_gbps']:>10.1f} "
-              f"{m['drop_rate'] * 100:>7.2f} "
-              f"{m['mean_dma_latency_us']:>7.2f}")
-
-    print("\nWhat to look for: throughput is flat while the bus has")
-    print("headroom, then collapses as utilization nears 1.0 — the NIC")
-    print("is starved at the memory controller while the access link")
-    print("still has headroom (the paper's low-utilization drops).")
-
+from repro.cli import main
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["scenario", "run", "memory_antagonist", "--no-cache"]))

@@ -54,9 +54,14 @@ KERNEL_MODULES = {
     "repro.core.metrics",
 }
 
+#: Pure-data packages: bundled scenario specs and the like.  Their
+#: ``.py`` files (package docstrings only) may not import anything at
+#: all — a spec package that grows code stops being declarative data.
+DATA_PACKAGES = {"scenarios"}
+
 #: Packages the lint must observe for a clean run to count (guards
 #: against the contract silently rotting when packages move).
-REQUIRED_PACKAGES = frozenset(LAYERS)
+REQUIRED_PACKAGES = frozenset(LAYERS) | DATA_PACKAGES
 
 
 def module_name(path: Path, root: Path) -> str:
@@ -116,10 +121,20 @@ def check(root: Path) -> List[str]:
         return [f"no 'repro' package under {root}"]
     for path in sorted(package_root.rglob("*.py")):
         module = module_name(path, root)
+        parts = module.split(".")
+        if len(parts) > 1 and parts[1] in DATA_PACKAGES:
+            seen_packages.add(parts[1])
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, (ast.Import, ast.ImportFrom)):
+                    violations.append(
+                        f"{path}:{node.lineno}: {module} is in the "
+                        f"data package repro.{parts[1]} and may not "
+                        f"import anything (specs are data, not code)")
+            continue
         importer_layer = layer_of(module)
         if importer_layer is None:
             continue
-        parts = module.split(".")
         if len(parts) > 1 and parts[1] in LAYERS:
             seen_packages.add(parts[1])
         tree = ast.parse(path.read_text(), filename=str(path))
@@ -151,7 +166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for violation in violations:
             print(f"  {violation}")
         return 1
-    covered = ", ".join(sorted(LAYERS))
+    covered = ", ".join(sorted(set(LAYERS) | DATA_PACKAGES))
     print(f"layering: OK ({covered} clean)")
     return 0
 

@@ -41,6 +41,13 @@ from repro.core.experiment import ExperimentHandle, run_experiment
 from repro.core.model import ThroughputModel, modeled_app_throughput_bps
 from repro.core.parallel import SweepRunError
 from repro.core.results import ExperimentResult, FailedRun, ResultTable
+from repro.core.scenario import (
+    ScenarioError,
+    ScenarioSpec,
+    SweepAxis,
+    bundled_scenarios,
+    find_scenario,
+)
 from repro.core.sweep import (
     baseline_config,
     run_sweep,
@@ -71,14 +78,19 @@ __all__ = [
     "PcieConfig",
     "ResultCache",
     "ResultTable",
+    "ScenarioError",
+    "ScenarioSpec",
     "SimConfig",
     "SimProfiler",
+    "SweepAxis",
     "SweepRunError",
     "SwiftConfig",
     "ThroughputModel",
     "Topology",
     "WorkloadConfig",
     "baseline_config",
+    "bundled_scenarios",
+    "find_scenario",
     "modeled_app_throughput_bps",
     "run_experiment",
     "run_sweep",

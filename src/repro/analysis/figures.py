@@ -1,8 +1,16 @@
 """Regeneration of every evaluation figure in the paper.
 
-One function per figure; each returns a :class:`FigureData` holding the
-named series of every panel, renders to ASCII, and exports CSV.  The
-``quality`` knob trades run time for grid density / window length:
+Each figure is a bundled scenario spec (``src/repro/scenarios/*.toml``)
+— sweep axes, quality presets, and panel/series metadata all live in
+the spec, not here.  This module is the rendering binding:
+:func:`figure_from_scenario` runs a spec through the shared execution
+pipeline and materializes its ``[render]`` section into a
+:class:`FigureData`.  The historical ``figure1``/``figure3``–
+``figure6`` entry points remain as thin wrappers that load their spec
+and override the grid from their arguments.
+
+The ``quality`` knob selects a spec preset trading run time for grid
+density / window length:
 
 - ``"quick"`` — coarse grid, short windows (benchmark-harness default);
 - ``"full"``  — the paper's grid and longer measurement windows.
@@ -10,9 +18,10 @@ named series of every panel, renders to ASCII, and exports CSV.  The
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.series import Series, series_from_table
 from repro.analysis.text_plots import line_plot, scatter_plot
@@ -21,13 +30,14 @@ from repro.core.cache import ResultCache
 from repro.core.config import ExperimentConfig
 from repro.core.model import ThroughputModel
 from repro.core.results import ResultTable
-from repro.core.sweep import (
-    baseline_config,
-    sweep_antagonist_cores,
-    sweep_receiver_cores,
-    sweep_region_size,
+from repro.core.scenario import (
+    PanelSpec,
+    QualityPreset,
+    ScenarioSpec,
+    SeriesSpec,
+    apply_overrides,
+    load_bundled,
 )
-from repro.workload.fleet import FleetSample, FleetSampler
 
 __all__ = [
     "FigureData",
@@ -36,22 +46,8 @@ __all__ = [
     "figure4",
     "figure5",
     "figure6",
+    "figure_from_scenario",
 ]
-
-_QUALITY = {
-    # (warmup, duration, grid density factor)
-    "quick": (4e-3, 8e-3),
-    "full": (6e-3, 14e-3),
-}
-
-
-def _windows(quality: str) -> Tuple[float, float]:
-    try:
-        return _QUALITY[quality]
-    except KeyError:
-        raise ValueError(
-            f"quality must be one of {sorted(_QUALITY)}, got {quality!r}"
-        ) from None
 
 
 @dataclass
@@ -149,21 +145,100 @@ def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
 
 
 # ---------------------------------------------------------------------------
-# Figure 1 — fleet scatter
+# Spec -> figure rendering binding
 # ---------------------------------------------------------------------------
 
-def figure1(n_hosts: int = 60, seed: int = 7,
-            quality: str = "quick",
-            workers: int | str | None = None) -> FigureData:
-    """Fig. 1: host drop rate vs access-link utilization over a fleet.
+def _check_quality(spec: ScenarioSpec, quality: Optional[str]) -> None:
+    if quality is not None and spec.quality \
+            and quality not in spec.quality:
+        raise ValueError(
+            f"quality must be one of {sorted(spec.quality)}, "
+            f"got {quality!r}")
 
-    Returns the scatter plus summary notes: the Spearman correlation
-    (positive in the paper) and the count of low-utilization hosts with
-    drops (the paper's second observation).
+
+def _override_axis(spec: ScenarioSpec, path: str,
+                   values: Sequence) -> ScenarioSpec:
+    """A copy of ``spec`` with one axis's grid replaced.
+
+    An explicit grid wins over quality presets, so the preset's values
+    for that axis are dropped too.
     """
-    warmup, duration = _windows(quality)
-    sampler = FleetSampler(seed=seed, warmup=warmup, duration=duration)
-    samples: List[FleetSample] = sampler.run(n_hosts, workers=workers)
+    axes = tuple(
+        dataclasses.replace(axis, values=tuple(values))
+        if axis.path == path else axis
+        for axis in spec.axes)
+    quality = {
+        name: QualityPreset(
+            overrides=preset.overrides,
+            axis_values={k: v for k, v in preset.axis_values.items()
+                         if k != path})
+        for name, preset in spec.quality.items()
+    }
+    return dataclasses.replace(spec, axes=axes, quality=quality)
+
+
+def _metric_series(table: ResultTable, panel: PanelSpec,
+                   spec_series: SeriesSpec) -> Series:
+    series = series_from_table(table, panel.x, spec_series.metric,
+                               spec_series.label, **spec_series.where)
+    if spec_series.scale != 1:
+        series = Series(series.label, series.x,
+                        tuple(y * spec_series.scale for y in series.y))
+    return series
+
+
+def _model_series(table: ResultTable, panel: PanelSpec,
+                  spec_series: SeriesSpec,
+                  base: ExperimentConfig) -> Series:
+    # The model line: Little's-law bound fed with the measured misses,
+    # shown (as in the paper) only where the interconnect binds.
+    xs: List[float] = []
+    ys: List[float] = []
+    for result in table.where(**spec_series.where):
+        x = result.params[panel.x]
+        if spec_series.min_x is not None and x < spec_series.min_x:
+            continue
+        config = base
+        if spec_series.config_path is not None:
+            config = apply_overrides(base,
+                                     {spec_series.config_path: x})
+        bound = ThroughputModel(config).predict(
+            misses_per_packet=result.metrics[
+                "iotlb_misses_per_packet"],
+            memory_utilization=result.metrics["memory_utilization"],
+        )
+        xs.append(float(x))
+        ys.append(bound / 1e9)
+    return Series(spec_series.label, tuple(xs),
+                  tuple(ys)).sorted_by_x()
+
+
+def _max_goodput_series(table: ResultTable, panel: PanelSpec,
+                        spec_series: SeriesSpec) -> Series:
+    xs = tuple(sorted({float(v) for v in table.column(panel.x)}))
+    return Series(spec_series.label, xs,
+                  tuple(cal.MAX_APP_GOODPUT_BPS / 1e9 for _ in xs))
+
+
+def _sweep_figure(spec: ScenarioSpec, table: ResultTable,
+                  base: ExperimentConfig) -> FigureData:
+    panels: Dict[str, Tuple[str, str, List[Series]]] = {}
+    render = spec.render
+    for panel in (render.panels if render else ()):
+        series: List[Series] = []
+        for s in panel.series:
+            if s.kind == "metric":
+                series.append(_metric_series(table, panel, s))
+            elif s.kind == "model":
+                series.append(_model_series(table, panel, s, base))
+            else:
+                series.append(_max_goodput_series(table, panel, s))
+        panels[panel.name] = (panel.x_label, panel.y_label, series)
+    return FigureData(name=spec.name, title=spec.title, panels=panels,
+                      table=table)
+
+
+def _fleet_figure(spec: ScenarioSpec, samples) -> FigureData:
     points = [(s.link_utilization, s.drop_rate) for s in samples]
     droppers = [s for s in samples if s.drop_rate > 1e-4]
     low_util_droppers = [
@@ -179,12 +254,12 @@ def figure1(n_hosts: int = 60, seed: int = 7,
         return sum(1 for s in group if s.drop_rate > 1e-4) / len(group)
 
     return FigureData(
-        name="figure1",
-        title="Host congestion across a heterogeneous fleet",
+        name=spec.name,
+        title=spec.title,
         panels={},
         scatter=points,
         notes={
-            "hosts": n_hosts,
+            "hosts": len(samples),
             "spearman": round(corr, 3),
             "hosts_with_drops": len(droppers),
             "low_util_hosts_with_drops": len(low_util_droppers),
@@ -194,27 +269,52 @@ def figure1(n_hosts: int = 60, seed: int = 7,
     )
 
 
+def figure_from_scenario(
+    spec: ScenarioSpec,
+    quality: Optional[str] = None,
+    *,
+    workers: int | str | None = None,
+    cache: ResultCache | None = None,
+    base: Optional[ExperimentConfig] = None,
+) -> FigureData:
+    """Run a scenario and materialize its ``[render]`` section.
+
+    Sweep scenarios yield line-plot panels (with model / max-goodput
+    overlays where the spec asks for them); fleet scenarios yield the
+    utilization-vs-drops scatter with summary notes.
+    """
+    _check_quality(spec, quality)
+    if spec.driver == "fleet":
+        samples = spec.run(quality=quality, base=base, workers=workers)
+        return _fleet_figure(spec, samples)
+    if spec.driver != "sweep":
+        raise ValueError(
+            f"scenario {spec.name!r} (driver {spec.driver!r}) does "
+            f"not render as a figure")
+    table = spec.run(quality=quality, base=base, workers=workers,
+                     cache=cache)
+    return _sweep_figure(spec, table,
+                         spec.base_config(quality, base))
+
+
 # ---------------------------------------------------------------------------
-# Figures 3/4 — receiver-core sweeps
+# Figure entry points (thin wrappers over the bundled specs)
 # ---------------------------------------------------------------------------
 
-def _core_sweep_panels(
-    table: ResultTable,
-    left_series: List[Series],
-    quality: str,
-) -> Dict[str, Tuple[str, str, List[Series]]]:
-    max_line = Series(
-        "Max Achievable Throughput",
-        tuple(sorted({float(c) for c in table.column("cores")})),
-        tuple(cal.MAX_APP_GOODPUT_BPS / 1e9
-              for _ in sorted({float(c) for c in table.column("cores")})),
-    )
-    return {
-        "throughput": ("receiver cores", "Gbps",
-                       left_series + [max_line]),
-        "drop rate": ("receiver cores", "percent", []),
-        "iotlb misses": ("receiver cores", "misses/packet", []),
-    }
+def figure1(n_hosts: int = 60, seed: int = 7,
+            quality: str = "quick",
+            workers: int | str | None = None) -> FigureData:
+    """Fig. 1: host drop rate vs access-link utilization over a fleet.
+
+    Returns the scatter plus summary notes: the Spearman correlation
+    (positive in the paper) and the count of low-utilization hosts with
+    drops (the paper's second observation).
+    """
+    spec = load_bundled("figure1")
+    spec = dataclasses.replace(
+        spec, driver_args={**spec.driver_args,
+                           "n_hosts": n_hosts, "seed": seed})
+    return figure_from_scenario(spec, quality=quality, workers=workers)
 
 
 def figure3(quality: str = "quick",
@@ -223,58 +323,11 @@ def figure3(quality: str = "quick",
             cache: ResultCache | None = None) -> FigureData:
     """Fig. 3: throughput / drop % / IOTLB misses vs receiver cores,
     IOMMU ON vs OFF, plus the Little's-law model line."""
-    warmup, duration = _windows(quality)
-    cores = tuple(cores) if cores else (
-        (2, 6, 8, 10, 12, 16) if quality == "quick"
-        else (2, 4, 6, 8, 10, 12, 14, 16))
-    base = baseline_config(warmup=warmup, duration=duration)
-    table = sweep_receiver_cores(cores=cores, base=base,
-                                 workers=workers, cache=cache)
-
-    tput_on = series_from_table(
-        table, "cores", "app_throughput_gbps",
-        "App Throughput -- IOMMU ON", iommu=True)
-    tput_off = series_from_table(
-        table, "cores", "app_throughput_gbps",
-        "App Throughput -- IOMMU OFF", iommu=False)
-    drops_on = series_from_table(
-        table, "cores", "drop_rate", "IOMMU ON", iommu=True)
-    drops_off = series_from_table(
-        table, "cores", "drop_rate", "IOMMU OFF", iommu=False)
-    misses_on = series_from_table(
-        table, "cores", "iotlb_misses_per_packet", "IOMMU ON",
-        iommu=True)
-
-    # The model line: Little's-law bound fed with the measured misses,
-    # shown (as in the paper) only where the interconnect binds.
-    model_x, model_y = [], []
-    for result in table.where(iommu=True):
-        n = result.params["cores"]
-        if n < 10:
-            continue
-        model = ThroughputModel(_config_for_cores(base, n))
-        bound = model.predict(
-            misses_per_packet=result.metrics["iotlb_misses_per_packet"],
-            memory_utilization=result.metrics["memory_utilization"],
-        )
-        model_x.append(float(n))
-        model_y.append(bound / 1e9)
-    model_series = Series("Modeled App Throughput -- IOMMU ON",
-                          tuple(model_x), tuple(model_y)).sorted_by_x()
-
-    panels = _core_sweep_panels(table, [tput_on, tput_off, model_series],
-                                quality)
-    panels["drop rate"] = (
-        "receiver cores", "percent",
-        [_percent(drops_on), _percent(drops_off)])
-    panels["iotlb misses"] = (
-        "receiver cores", "misses/packet", [misses_on])
-    return FigureData(
-        name="figure3",
-        title="IOMMU-induced host congestion vs receiver cores",
-        panels=panels,
-        table=table,
-    )
+    spec = load_bundled("figure3")
+    if cores:
+        spec = _override_axis(spec, "host.cpu.cores", tuple(cores))
+    return figure_from_scenario(spec, quality=quality, workers=workers,
+                                cache=cache)
 
 
 def figure4(quality: str = "quick",
@@ -282,156 +335,34 @@ def figure4(quality: str = "quick",
             workers: int | str | None = None,
             cache: ResultCache | None = None) -> FigureData:
     """Fig. 4: hugepages enabled vs disabled (IOMMU always on)."""
-    warmup, duration = _windows(quality)
-    cores = tuple(cores) if cores else (
-        (2, 6, 8, 12, 16) if quality == "quick"
-        else (2, 4, 6, 8, 10, 12, 14, 16))
-    base = baseline_config(warmup=warmup, duration=duration)
-    table_on = sweep_receiver_cores(
-        cores=cores, iommu_states=(True,), base=base, hugepages=True,
-        workers=workers, cache=cache)
-    table_off = sweep_receiver_cores(
-        cores=cores, iommu_states=(True,), base=base, hugepages=False,
-        workers=workers, cache=cache)
-    merged = ResultTable(list(table_on) + list(table_off))
+    spec = load_bundled("figure4")
+    if cores:
+        spec = _override_axis(spec, "host.cpu.cores", tuple(cores))
+    return figure_from_scenario(spec, quality=quality, workers=workers,
+                                cache=cache)
 
-    tput_hp = series_from_table(
-        merged, "cores", "app_throughput_gbps",
-        "App Throughput -- HugePages Enabled", hugepages=True)
-    tput_nohp = series_from_table(
-        merged, "cores", "app_throughput_gbps",
-        "App Throughput -- HugePages Disabled", hugepages=False)
-    drops_hp = series_from_table(
-        merged, "cores", "drop_rate", "Hugepages Enabled",
-        hugepages=True)
-    drops_nohp = series_from_table(
-        merged, "cores", "drop_rate", "Hugepages Disabled",
-        hugepages=False)
-    misses_hp = series_from_table(
-        merged, "cores", "iotlb_misses_per_packet",
-        "Hugepages Enabled", hugepages=True)
-    misses_nohp = series_from_table(
-        merged, "cores", "iotlb_misses_per_packet",
-        "Hugepages Disabled", hugepages=False)
-
-    return FigureData(
-        name="figure4",
-        title="Disabling hugepages increases IOMMU contention",
-        panels={
-            "throughput": ("receiver cores", "Gbps",
-                           [tput_hp, tput_nohp]),
-            "drop rate": ("receiver cores", "percent",
-                          [_percent(drops_hp), _percent(drops_nohp)]),
-            "iotlb misses": ("receiver cores", "misses/packet",
-                             [misses_hp, misses_nohp]),
-        },
-        table=merged,
-    )
-
-
-# ---------------------------------------------------------------------------
-# Figure 5 — Rx memory region size
-# ---------------------------------------------------------------------------
 
 def figure5(quality: str = "quick",
             region_mb: Sequence[int] = (4, 8, 12, 16),
             workers: int | str | None = None,
             cache: ResultCache | None = None) -> FigureData:
     """Fig. 5: provisioning for larger BDPs worsens IOMMU contention."""
-    warmup, duration = _windows(quality)
-    base = baseline_config(warmup=warmup, duration=duration)
-    table = sweep_region_size(region_mb=region_mb, base=base,
-                              workers=workers, cache=cache)
+    spec = load_bundled("figure5")
+    if region_mb:
+        spec = _override_axis(spec, "host.rx_region_bytes",
+                              tuple(region_mb))
+    return figure_from_scenario(spec, quality=quality, workers=workers,
+                                cache=cache)
 
-    tput_on = series_from_table(
-        table, "rx_region_mb", "app_throughput_gbps",
-        "App Throughput -- IOMMU ON", iommu=True)
-    tput_off = series_from_table(
-        table, "rx_region_mb", "app_throughput_gbps",
-        "App Throughput -- IOMMU OFF", iommu=False)
-    drops_on = series_from_table(
-        table, "rx_region_mb", "drop_rate", "IOMMU ON", iommu=True)
-    drops_off = series_from_table(
-        table, "rx_region_mb", "drop_rate", "IOMMU OFF", iommu=False)
-    misses_on = series_from_table(
-        table, "rx_region_mb", "iotlb_misses_per_packet", "IOMMU ON",
-        iommu=True)
-
-    return FigureData(
-        name="figure5",
-        title="Larger Rx memory regions increase IOMMU contention",
-        panels={
-            "throughput": ("Rx region (MB)", "Gbps",
-                           [tput_on, tput_off]),
-            "drop rate": ("Rx region (MB)", "percent",
-                          [_percent(drops_on), _percent(drops_off)]),
-            "iotlb misses": ("Rx region (MB)", "misses/packet",
-                             [misses_on]),
-        },
-        table=table,
-    )
-
-
-# ---------------------------------------------------------------------------
-# Figure 6 — memory-bus antagonism
-# ---------------------------------------------------------------------------
 
 def figure6(quality: str = "quick",
             antagonists: Sequence[int] | None = None,
             workers: int | str | None = None,
             cache: ResultCache | None = None) -> FigureData:
     """Fig. 6: throughput and memory bandwidth vs STREAM cores."""
-    warmup, duration = _windows(quality)
-    antagonists = tuple(antagonists) if antagonists else (
-        (0, 2, 6, 10, 15) if quality == "quick"
-        else (0, 1, 2, 4, 6, 8, 10, 12, 14, 15))
-    base = baseline_config(warmup=warmup, duration=duration)
-    table = sweep_antagonist_cores(antagonists=antagonists, base=base,
-                                   workers=workers, cache=cache)
-
-    def s(metric: str, label: str, iommu: bool) -> Series:
-        return series_from_table(
-            table, "antagonist_cores", metric, label, iommu=iommu)
-
-    return FigureData(
-        name="figure6",
-        title="Memory-bus contention degrades NIC-to-CPU throughput",
-        panels={
-            "throughput iommu off": (
-                "antagonist cores", "Gbps",
-                [s("app_throughput_gbps",
-                   "App Throughput -- IOMMU OFF", False)]),
-            "throughput iommu on": (
-                "antagonist cores", "Gbps",
-                [s("app_throughput_gbps",
-                   "App Throughput -- IOMMU ON", True)]),
-            "memory bandwidth": (
-                "antagonist cores", "GB/s",
-                [s("memory_total_GBps", "Total -- IOMMU OFF", False),
-                 s("memory_total_GBps", "Total -- IOMMU ON", True)]),
-            "drop rate": (
-                "antagonist cores", "percent",
-                [_percent(s("drop_rate", "IOMMU ON", True)),
-                 _percent(s("drop_rate", "IOMMU OFF", False))]),
-        },
-        table=table,
-    )
-
-
-# ---------------------------------------------------------------------------
-# helpers
-# ---------------------------------------------------------------------------
-
-def _percent(series: Series) -> Series:
-    return Series(series.label, series.x,
-                  tuple(y * 100 for y in series.y))
-
-
-def _config_for_cores(base: ExperimentConfig, cores: int):
-    import dataclasses
-
-    return dataclasses.replace(
-        base,
-        host=dataclasses.replace(
-            base.host,
-            cpu=dataclasses.replace(base.host.cpu, cores=cores)))
+    spec = load_bundled("figure6")
+    if antagonists:
+        spec = _override_axis(spec, "host.antagonist_cores",
+                              tuple(antagonists))
+    return figure_from_scenario(spec, quality=quality, workers=workers,
+                                cache=cache)

@@ -2,15 +2,21 @@
 
 Commands:
 
-- ``run``     — one experiment at a chosen operating point, print gauges
-- ``sweep``   — sweep cores / region size / antagonists / receiver
+- ``run``      — one experiment at a chosen operating point, print gauges
+- ``sweep``    — sweep cores / region size / antagonists / receiver
   hosts, print a table
-- ``figure``  — regenerate one paper figure (ASCII + CSV + shape checks)
-- ``fleet``   — sample a heterogeneous fleet (Fig. 1) and print scatter
-- ``model``   — evaluate the analytical model at a grid of miss rates
-- ``trace``   — run one experiment traced, export Perfetto JSON
-- ``profile`` — run one experiment under the simulation profiler
-- ``cache``   — inspect or clear the on-disk result cache
+- ``scenario`` — list, validate, or run declarative scenario specs
+  (bundled ``repro.scenarios`` or ``.toml``/``.json`` files)
+- ``figure``   — regenerate one paper figure (ASCII + CSV + shape checks)
+- ``fleet``    — sample a heterogeneous fleet (Fig. 1) and print scatter
+- ``model``    — evaluate the analytical model at a grid of miss rates
+- ``trace``    — run one experiment traced, export Perfetto JSON
+- ``profile``  — run one experiment under the simulation profiler
+- ``cache``    — inspect or clear the on-disk result cache
+
+``sweep``, ``figure``, and ``scenario run`` all route through the same
+pipeline: scenario-spec expansion into config lists, the parallel
+executor, and the on-disk result cache.
 
 ``run`` and ``sweep`` accept ``--metrics-out metrics.json`` to dump the
 full metrics-registry snapshot (every component counter/gauge/histogram).
@@ -87,6 +93,12 @@ def _cache_from_args(args: argparse.Namespace):
     return ResultCache(args.cache_dir)
 
 
+def _transport_choices() -> tuple:
+    from repro.transport.registry import available
+
+    return tuple(available())
+
+
 def _host_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=12,
                         help="receiver threads/cores (default 12)")
@@ -104,7 +116,7 @@ def _host_args(parser: argparse.ArgumentParser) -> None:
                         help="receiver hosts, each with its own incast "
                              "(default 1)")
     parser.add_argument("--transport", default="swift",
-                        choices=("swift", "dctcp", "cubic", "hostcc", "timely"))
+                        choices=_transport_choices())
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--warmup-ms", type=float, default=5.0)
     parser.add_argument("--duration-ms", type=float, default=10.0)
@@ -178,6 +190,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_sweep_table(table, x_key: str) -> None:
+    header = (f"{x_key:>16} {'iommu':>6} {'tput Gbps':>10} "
+              f"{'drop %':>7} {'misses/pkt':>11} {'mem GB/s':>9}")
+    print(header)
+    print("-" * len(header))
+    for result in table:
+        m = result.metrics
+        if isinstance(result, FailedRun):
+            print(f"{result.params[x_key]:>16} "
+                  f"{str(result.params['iommu']):>6} "
+                  f"  FAILED ({result.kind}): {result.error}")
+            continue
+        print(f"{result.params[x_key]:>16} "
+              f"{str(result.params['iommu']):>6} "
+              f"{m['app_throughput_gbps']:>10.1f} "
+              f"{m['drop_rate'] * 100:>7.2f} "
+              f"{m['iotlb_misses_per_packet']:>11.2f} "
+              f"{m['memory_total_GBps']:>9.1f}")
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     base = baseline_config(
         warmup=args.warmup_ms * 1e-3,
@@ -204,23 +236,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         table = sweep_antagonist_cores(
             antagonists=tuple(int(v) for v in args.values), **run_opts)
         x_key = "antagonist_cores"
-    header = (f"{x_key:>16} {'iommu':>6} {'tput Gbps':>10} "
-              f"{'drop %':>7} {'misses/pkt':>11} {'mem GB/s':>9}")
-    print(header)
-    print("-" * len(header))
-    for result in table:
-        m = result.metrics
-        if isinstance(result, FailedRun):
-            print(f"{result.params[x_key]:>16} "
-                  f"{str(result.params['iommu']):>6} "
-                  f"  FAILED ({result.kind}): {result.error}")
-            continue
-        print(f"{result.params[x_key]:>16} "
-              f"{str(result.params['iommu']):>6} "
-              f"{m['app_throughput_gbps']:>10.1f} "
-              f"{m['drop_rate'] * 100:>7.2f} "
-              f"{m['iotlb_misses_per_packet']:>11.2f} "
-              f"{m['memory_total_GBps']:>9.1f}")
+    _print_sweep_table(table, x_key)
     if cache is not None and cache.hits:
         print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es)")
     if args.csv:
@@ -228,6 +244,128 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {args.csv}")
     if args.metrics_out:
         _write_metrics(args.metrics_out, snapshots)
+    return 0
+
+
+def _scenario_specs(args: argparse.Namespace):
+    from repro.core.scenario import bundled_scenarios, load_scenario_dir
+
+    if getattr(args, "dir", None):
+        return load_scenario_dir(args.dir)
+    return bundled_scenarios()
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.core.scenario import ScenarioError, find_scenario
+
+    try:
+        if args.scenario_command == "list":
+            specs = _scenario_specs(args)
+            width = max(len(name) for name in specs)
+            for name, spec in sorted(specs.items()):
+                print(f"{name:<{width}}  [{spec.driver}]  {spec.title}")
+            return 0
+
+        if args.scenario_command == "validate":
+            from repro.core.scenario import load_scenario_file
+
+            known = _scenario_specs(args)
+            targets = args.names or sorted(known)
+            failures = 0
+            for target in targets:
+                try:
+                    if target in known:
+                        spec = known[target]
+                    elif Path(target).exists():
+                        spec = load_scenario_file(target)
+                    else:
+                        spec = find_scenario(target)
+                except ScenarioError as exc:
+                    print(f"FAIL {target}: {exc}")
+                    failures += 1
+                    continue
+                if spec.driver == "sweep":
+                    n = len(spec.expand())
+                    grids = ", ".join(
+                        f"{q}: {len(spec.expand(quality=q))}"
+                        for q in sorted(spec.quality))
+                    detail = f"{n} config(s)" + (
+                        f" ({grids})" if grids else "")
+                else:
+                    spec.base_config()
+                    detail = f"driver {spec.driver}"
+                print(f"OK   {spec.name} ({spec.source}): {detail}")
+            return 1 if failures else 0
+
+        # run
+        spec = find_scenario(args.name)
+        return _run_scenario(spec, args)
+    except ScenarioError as exc:
+        print(f"error: {exc}")
+        return 1
+
+
+def _run_scenario(spec, args: argparse.Namespace) -> int:
+    from repro.analysis.figures import figure_from_scenario
+
+    render = spec.render
+    print(f"scenario {spec.name} ({spec.source}): driver {spec.driver}"
+          + (f", quality {args.quality}" if args.quality else ""))
+
+    if spec.driver in ("sweep", "fleet") and render is not None \
+            and render.style in ("panels", "scatter"):
+        cache = _cache_from_args(args) if spec.driver == "sweep" else None
+        fig = figure_from_scenario(spec, quality=args.quality,
+                                   workers=args.workers, cache=cache)
+        print(fig.render())
+        if cache is not None and cache.hits:
+            print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es)")
+        if args.out:
+            paths = fig.to_csv_dir(args.out)
+            print(f"wrote {len(paths)} CSV files to {args.out}")
+        if args.csv and fig.table is not None:
+            fig.table.to_csv(args.csv)
+            print(f"wrote {args.csv}")
+        return 0
+
+    if spec.driver == "sweep":
+        cache = _cache_from_args(args)
+        table = spec.run(quality=args.quality, workers=args.workers,
+                         timeout=args.timeout_s, cache=cache)
+        x_key = render.x if render is not None and render.x else "seed"
+        _print_sweep_table(table, x_key)
+        if cache is not None and cache.hits:
+            print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es)")
+        if args.csv:
+            table.to_csv(args.csv)
+            print(f"wrote {args.csv}")
+        return 0
+
+    if spec.driver == "day":
+        bins = spec.run(quality=args.quality)
+        header = (f"{'bin':>4} {'load':>5} {'antag':>6} "
+                  f"{'link util':>10} {'drop %':>7} {'tput Gbps':>10}")
+        print(header)
+        print("-" * len(header))
+        for b in bins:
+            print(f"{b.index:>4} {b.offered_load:>5.2f} "
+                  f"{b.antagonist_cores:>6} "
+                  f"{b.link_utilization:>10.2f} "
+                  f"{b.drop_rate * 100:>7.2f} "
+                  f"{b.app_throughput_gbps:>10.1f}")
+        return 0
+
+    # isolation
+    results = spec.run(quality=args.quality)
+    header = (f"{'case':>14} {'drop %':>7} {'victim p50':>11} "
+              f"{'victim p99':>11} {'elephant p99':>13} {'tput':>6}")
+    print(header)
+    print("-" * len(header))
+    for name, r in results.items():
+        print(f"{name:>14} {r.drop_rate * 100:>7.2f} "
+              f"{r.victim.p50:>11.1f} {r.victim.p99:>11.1f} "
+              f"{r.elephant.p99:>13.1f} "
+              f"{r.app_throughput_gbps:>6.1f}")
     return 0
 
 
@@ -381,6 +519,42 @@ def build_parser() -> argparse.ArgumentParser:
                               "runs become FAILED rows, not aborts")
     _parallel_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_scen = sub.add_parser(
+        "scenario",
+        help="list, validate, or run declarative scenario specs")
+    scen_sub = p_scen.add_subparsers(dest="scenario_command",
+                                     required=True)
+    p_scen_list = scen_sub.add_parser(
+        "list", help="list bundled (or --dir) scenarios")
+    p_scen_list.add_argument("--dir", default=None,
+                             help="list specs in a directory instead "
+                                  "of the bundled ones")
+    p_scen_list.set_defaults(func=cmd_scenario)
+    p_scen_val = scen_sub.add_parser(
+        "validate", help="validate spec files or bundled scenarios")
+    p_scen_val.add_argument("names", nargs="*",
+                            help="scenario names or spec paths "
+                                 "(default: every bundled spec)")
+    p_scen_val.add_argument("--dir", default=None,
+                            help="validate every spec in a directory")
+    p_scen_val.set_defaults(func=cmd_scenario)
+    p_scen_run = scen_sub.add_parser(
+        "run", help="run a scenario by name or spec path")
+    p_scen_run.add_argument("name",
+                            help="bundled scenario name or path to a "
+                                 ".toml/.json spec")
+    p_scen_run.add_argument("--quality", default=None,
+                            help="quality preset (default: the spec's "
+                                 "default_quality)")
+    p_scen_run.add_argument("--csv",
+                            help="write the result table to CSV")
+    p_scen_run.add_argument("--out",
+                            help="directory for rendered-figure CSVs")
+    p_scen_run.add_argument("--timeout-s", type=float, default=None,
+                            help="per-run wall-clock budget")
+    _parallel_args(p_scen_run)
+    p_scen_run.set_defaults(func=cmd_scenario)
 
     p_trace = sub.add_parser(
         "trace", help="run one traced experiment, export Perfetto JSON")

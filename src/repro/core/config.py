@@ -375,16 +375,21 @@ class ExperimentConfig:
     link: LinkConfig = field(default_factory=LinkConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     swift: SwiftConfig = field(default_factory=SwiftConfig)
-    #: One of: "swift", "dctcp", "cubic", "hostcc", "timely".
+    #: Any name in the transport registry ("swift", "dctcp", "cubic",
+    #: "hostcc", "timely", plus anything registered from outside).
     transport: str = "swift"
     sim: SimConfig = field(default_factory=SimConfig)
 
-    _TRANSPORTS = ("swift", "dctcp", "cubic", "hostcc", "timely")
-
     def __post_init__(self) -> None:
-        _require(self.transport in self._TRANSPORTS,
+        # Lazy edge up to the transport layer: the registry is the one
+        # source of protocol names, and this kernel module must not
+        # import it at module level (layering).
+        from repro.transport.registry import available
+
+        names = available()
+        _require(self.transport in names,
                  f"unknown transport {self.transport!r}; "
-                 f"expected one of {self._TRANSPORTS}")
+                 f"expected one of {names}")
 
     def describe(self) -> Dict[str, Any]:
         """Flat summary of the knobs that vary across paper figures."""

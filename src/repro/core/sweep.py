@@ -1,12 +1,19 @@
 """Parameter sweeps over experiment configurations.
 
 Each paper figure is a sweep along one axis with everything else at the
-baseline; these helpers build the config lists and run them.
+baseline.  Since the scenario layer landed, these helpers are thin
+wrappers: each one builds an in-memory
+:class:`~repro.core.scenario.ScenarioSpec` (axes in the same
+declaration order as the historical loops, so config lists — and
+therefore results — are byte-identical) and runs it through the one
+shared execution path, :func:`repro.core.scenario.run_configs`.
+
+Prefer spec files (``repro scenario run``) for new studies; these
+helpers remain for programmatic callers and the figure entry points.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.core.cache import ResultCache
@@ -16,8 +23,9 @@ from repro.core.config import (
     HostConfig,
     SimConfig,
 )
-from repro.core.parallel import Workers, run_many
+from repro.core.parallel import Workers
 from repro.core.results import ExperimentResult, ResultTable
+from repro.core.scenario import ScenarioSpec, SweepAxis, run_configs
 
 __all__ = [
     "baseline_config",
@@ -43,22 +51,6 @@ def baseline_config(
     )
 
 
-def _with_host(config: ExperimentConfig, **changes) -> ExperimentConfig:
-    return dataclasses.replace(
-        config, host=dataclasses.replace(config.host, **changes))
-
-
-def _with_cores(config: ExperimentConfig, cores: int) -> ExperimentConfig:
-    return _with_host(
-        config, cpu=dataclasses.replace(config.host.cpu, cores=cores))
-
-
-def _with_iommu(config: ExperimentConfig, enabled: bool) -> ExperimentConfig:
-    return _with_host(
-        config,
-        iommu=dataclasses.replace(config.host.iommu, enabled=enabled))
-
-
 def run_sweep(
     configs: Iterable[ExperimentConfig],
     progress: Optional[Callable[[int, ExperimentResult], None]] = None,
@@ -69,6 +61,9 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
 ) -> ResultTable:
     """Run each config and collect results, optionally in parallel.
+
+    Alias for :func:`repro.core.scenario.run_configs` — the single
+    execution path behind sweeps, scenarios, and figures.
 
     ``snapshots_out``, if given, receives one full metrics-registry
     snapshot (``ExperimentHandle.metrics_snapshot``) per run, in table
@@ -82,15 +77,15 @@ def run_sweep(
     :class:`~repro.core.results.FailedRun` placeholder.  ``cache``
     memoizes results on disk keyed by the config digest.
     """
-    outcomes = run_many(configs, workers=workers, timeout=timeout,
-                        want_snapshots=snapshots_out is not None,
-                        cache=cache, progress=progress)
-    table = ResultTable()
-    for outcome in outcomes:
-        table.append(outcome.result)
-        if snapshots_out is not None:
-            snapshots_out.append(outcome.snapshot)
-    return table
+    return run_configs(configs, progress=progress,
+                       snapshots_out=snapshots_out, workers=workers,
+                       timeout=timeout, cache=cache)
+
+
+def _sweep_spec(name: str, axes: List[SweepAxis],
+                base_overrides: Optional[dict] = None) -> ScenarioSpec:
+    return ScenarioSpec(name=name, base=base_overrides or {},
+                        axes=tuple(axes), source=f"<{name}>")
 
 
 def sweep_receiver_cores(
@@ -106,15 +101,14 @@ def sweep_receiver_cores(
     cache: Optional[ResultCache] = None,
 ) -> ResultTable:
     """Figures 3 and 4: throughput/drops/misses vs receiver cores."""
-    base = base or baseline_config()
-    if hugepages is not None:
-        base = _with_host(base, hugepages=hugepages)
-    configs: List[ExperimentConfig] = []
-    for enabled in iommu_states:
-        for n in cores:
-            configs.append(_with_cores(_with_iommu(base, enabled), n))
-    return run_sweep(configs, progress, snapshots_out,
-                     workers=workers, timeout=timeout, cache=cache)
+    spec = _sweep_spec(
+        "sweep_receiver_cores",
+        [SweepAxis("host.iommu.enabled", tuple(iommu_states)),
+         SweepAxis("host.cpu.cores", tuple(cores))],
+        {} if hugepages is None else {"host.hugepages": hugepages})
+    return spec.run(base=base or baseline_config(), progress=progress,
+                    snapshots_out=snapshots_out, workers=workers,
+                    timeout=timeout, cache=cache)
 
 
 def sweep_region_size(
@@ -129,15 +123,14 @@ def sweep_region_size(
     cache: Optional[ResultCache] = None,
 ) -> ResultTable:
     """Figure 5: throughput/drops/misses vs Rx memory region size."""
-    base = base or baseline_config()
-    configs = [
-        _with_host(_with_iommu(base, enabled),
-                   rx_region_bytes=mb * 2**20)
-        for enabled in iommu_states
-        for mb in region_mb
-    ]
-    return run_sweep(configs, progress, snapshots_out,
-                     workers=workers, timeout=timeout, cache=cache)
+    spec = _sweep_spec(
+        "sweep_region_size",
+        [SweepAxis("host.iommu.enabled", tuple(iommu_states)),
+         SweepAxis("host.rx_region_bytes", tuple(region_mb),
+                   scale=2**20)])
+    return spec.run(base=base or baseline_config(), progress=progress,
+                    snapshots_out=snapshots_out, workers=workers,
+                    timeout=timeout, cache=cache)
 
 
 def sweep_receivers(
@@ -159,15 +152,12 @@ def sweep_receivers(
     throughput scales linearly — the sanity check that congestion in
     this model is a *host* phenomenon, not a fabric one.
     """
-    base = base or baseline_config()
-    configs = [
-        dataclasses.replace(
-            base,
-            workload=dataclasses.replace(base.workload, receivers=m))
-        for m in receivers
-    ]
-    return run_sweep(configs, progress, snapshots_out,
-                     workers=workers, timeout=timeout, cache=cache)
+    spec = _sweep_spec(
+        "sweep_receivers",
+        [SweepAxis("workload.receivers", tuple(receivers))])
+    return spec.run(base=base or baseline_config(), progress=progress,
+                    snapshots_out=snapshots_out, workers=workers,
+                    timeout=timeout, cache=cache)
 
 
 def sweep_antagonist_cores(
@@ -182,11 +172,10 @@ def sweep_antagonist_cores(
     cache: Optional[ResultCache] = None,
 ) -> ResultTable:
     """Figure 6: throughput/memory bandwidth/drops vs STREAM cores."""
-    base = base or baseline_config()
-    configs = [
-        _with_host(_with_iommu(base, enabled), antagonist_cores=n)
-        for enabled in iommu_states
-        for n in antagonists
-    ]
-    return run_sweep(configs, progress, snapshots_out,
-                     workers=workers, timeout=timeout, cache=cache)
+    spec = _sweep_spec(
+        "sweep_antagonist_cores",
+        [SweepAxis("host.iommu.enabled", tuple(iommu_states)),
+         SweepAxis("host.antagonist_cores", tuple(antagonists))])
+    return spec.run(base=base or baseline_config(), progress=progress,
+                    snapshots_out=snapshots_out, workers=workers,
+                    timeout=timeout, cache=cache)

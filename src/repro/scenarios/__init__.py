@@ -1,0 +1,10 @@
+"""Bundled scenario specs — data, not code.
+
+Every ``.toml`` file in this package is a
+:class:`~repro.core.scenario.ScenarioSpec` describing one paper figure
+or example study; ``repro scenario list`` enumerates them and
+``repro scenario run <name>`` executes them.  The package intentionally
+contains no Python beyond this docstring (enforced by
+``scripts/check_layering.py``) so specs stay declarative: everything a
+scenario does must be expressible in the spec schema.
+"""

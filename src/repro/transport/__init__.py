@@ -10,6 +10,8 @@
   detection, RTO, pacing) shared by all protocols.
 - :mod:`repro.transport.receiver` — receiver endpoint generating ACKs
   with host-delay echo.
+- :mod:`repro.transport.registry` — name → factory map every protocol
+  registers into; config validation and scenario specs read it.
 """
 
 from repro.transport.base import Connection, CongestionControl
@@ -17,6 +19,7 @@ from repro.transport.cubic import CubicCC
 from repro.transport.dctcp import DctcpCC
 from repro.transport.hostcc import HostSignalCC
 from repro.transport.receiver import ReceiverEndpoint
+from repro.transport.registry import available, create, register
 from repro.transport.swift import SwiftCC, make_cc
 from repro.transport.timely import TimelyCC
 
@@ -29,5 +32,8 @@ __all__ = [
     "ReceiverEndpoint",
     "SwiftCC",
     "TimelyCC",
+    "available",
+    "create",
     "make_cc",
+    "register",
 ]

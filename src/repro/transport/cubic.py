@@ -9,10 +9,12 @@ from __future__ import annotations
 
 from repro.core.config import SwiftConfig
 from repro.net.packet import Ack
+from repro.transport.registry import register
 
 __all__ = ["CubicCC"]
 
 
+@register("cubic")
 class CubicCC:
     """One flow's CUBIC state."""
 

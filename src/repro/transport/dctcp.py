@@ -9,10 +9,12 @@ from __future__ import annotations
 
 from repro.core.config import SwiftConfig
 from repro.net.packet import Ack
+from repro.transport.registry import register
 
 __all__ = ["DctcpCC"]
 
 
+@register("dctcp")
 class DctcpCC:
     """One flow's DCTCP state."""
 

@@ -19,11 +19,13 @@ from __future__ import annotations
 
 from repro.core.config import SwiftConfig
 from repro.net.packet import Ack
+from repro.transport.registry import register
 from repro.transport.swift import SwiftCC
 
 __all__ = ["HostSignalCC"]
 
 
+@register("hostcc")
 class HostSignalCC(SwiftCC):
     """Swift plus explicit, sub-RTT host-congestion signals."""
 

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 from repro.core.config import SwiftConfig
 from repro.net.packet import Ack
+from repro.transport.registry import register
 
 __all__ = ["SwiftCC", "make_cc"]
 
 
+@register("swift")
 class SwiftCC:
     """One flow's Swift state."""
 
@@ -106,20 +108,11 @@ class SwiftCC:
 
 
 def make_cc(name: str, swift_config: SwiftConfig, initial_cwnd: float = 2.0):
-    """Factory for all supported congestion-control algorithms."""
-    from repro.transport.cubic import CubicCC
-    from repro.transport.dctcp import DctcpCC
-    from repro.transport.hostcc import HostSignalCC
-    from repro.transport.timely import TimelyCC
+    """Back-compat alias for :func:`repro.transport.registry.create`.
 
-    if name == "swift":
-        return SwiftCC(swift_config, initial_cwnd)
-    if name == "dctcp":
-        return DctcpCC(swift_config, initial_cwnd)
-    if name == "cubic":
-        return CubicCC(swift_config, initial_cwnd)
-    if name == "hostcc":
-        return HostSignalCC(swift_config, initial_cwnd)
-    if name == "timely":
-        return TimelyCC(swift_config, initial_cwnd)
-    raise ValueError(f"unknown congestion control {name!r}")
+    The factory now lives in the registry so protocols register
+    themselves instead of being enumerated here.
+    """
+    from repro.transport.registry import create
+
+    return create(name, swift_config, initial_cwnd)

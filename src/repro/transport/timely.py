@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from repro.core.config import SwiftConfig
 from repro.net.packet import Ack
+from repro.transport.registry import register
 
 __all__ = ["TimelyCC"]
 
 
+@register("timely")
 class TimelyCC:
     """One flow's TIMELY state (window-based adaptation)."""
 

@@ -33,7 +33,7 @@ from repro.sim.randoms import RngRegistry
 from repro.sim.tracing import Tracer
 from repro.transport.base import Connection
 from repro.transport.receiver import ReceiverEndpoint
-from repro.transport.swift import make_cc
+from repro.transport.registry import create as make_cc
 
 __all__ = ["HostWorkload", "RemoteReadWorkload", "build_remote_read_graph"]
 

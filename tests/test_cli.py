@@ -203,3 +203,112 @@ def test_fleet_workers_flag(capsys):
                  "--warmup-ms", "0.5", "--duration-ms", "1"])
     assert code == 0
     assert "hosts dropping" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# scenario subcommand
+# ---------------------------------------------------------------------------
+
+TINY_SPEC = """
+[scenario]
+name = "tiny"
+title = "Tiny test scenario"
+
+[base]
+"sim.warmup" = 5e-4
+"sim.duration" = 1e-3
+"workload.senders" = 8
+
+[[axes]]
+path = "host.cpu.cores"
+values = [2, 4]
+
+[render]
+style = "table"
+x = "cores"
+"""
+
+
+def test_scenario_list_shows_bundled_specs(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("figure1", "figure3", "figure6", "iommu_contention",
+                 "memory_antagonist"):
+        assert name in out
+
+
+def test_scenario_validate_all_bundled(capsys):
+    assert main(["scenario", "validate"]) == 0
+    out = capsys.readouterr().out
+    assert "FAIL" not in out
+    assert "figure3" in out
+
+
+def test_scenario_validate_reports_bad_spec(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text('[scenario]\nname = "bad"\n'
+                   '[base]\n"host.cpu.coresies" = 2\n')
+    assert main(["scenario", "validate", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "coresies" in out
+
+
+def test_scenario_run_spec_file(tmp_path, capsys):
+    spec = tmp_path / "tiny.toml"
+    spec.write_text(TINY_SPEC)
+    csv_path = tmp_path / "tiny.csv"
+    code = main(["scenario", "run", str(spec), "--no-cache",
+                 "--csv", str(csv_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tput Gbps" in out
+    data_rows = [line for line in out.splitlines()
+                 if line.strip() and line.lstrip()[0].isdigit()]
+    assert len(data_rows) == 2
+    assert csv_path.exists()
+
+
+def test_scenario_run_second_time_hits_cache(tmp_path, capsys):
+    spec = tmp_path / "tiny.toml"
+    spec.write_text(TINY_SPEC)
+    argv = ["scenario", "run", str(spec)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    assert "cache: 2 hit(s)" in capsys.readouterr().out
+
+
+def test_scenario_run_unknown_name_fails(capsys):
+    assert main(["scenario", "run", "no-such-scenario"]) == 1
+    assert "no-such-scenario" in capsys.readouterr().out
+
+
+def test_scenario_sweep_and_cli_sweep_share_cache(tmp_path, capsys):
+    """`repro sweep` and `repro scenario run` expand to the same
+    configs, so one's runs are the other's cache hits."""
+    spec = tmp_path / "cores.toml"
+    spec.write_text("""
+[scenario]
+name = "cores"
+
+[base]
+"sim.warmup" = 1e-3
+"sim.duration" = 2e-3
+
+[[axes]]
+path = "host.iommu.enabled"
+values = [true, false]
+
+[[axes]]
+path = "host.cpu.cores"
+values = [2]
+
+[render]
+style = "table"
+x = "cores"
+""")
+    assert main(["sweep", "cores", "2",
+                 "--warmup-ms", "1", "--duration-ms", "2"]) == 0
+    capsys.readouterr()
+    assert main(["scenario", "run", str(spec)]) == 0
+    assert "cache: 2 hit(s)" in capsys.readouterr().out

@@ -20,8 +20,19 @@ def test_real_tree_is_clean():
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "layering: OK" in proc.stdout
     for package in ("sim", "net", "obs", "host", "transport",
-                    "workload", "core", "analysis", "cli"):
+                    "workload", "core", "analysis", "cli", "scenarios"):
         assert package in proc.stdout
+
+
+def make_fake_tree(tmp_path):
+    """A minimal repro tree with every package the lint requires."""
+    pkg = tmp_path / "repro"
+    for sub in ("sim", "net", "obs", "host", "transport", "workload",
+                "core", "analysis", "cli", "scenarios"):
+        (pkg / sub).mkdir(parents=True)
+        (pkg / sub / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    return pkg
 
 
 def test_timer_wheel_is_layer_zero_leaf():
@@ -46,12 +57,7 @@ def test_timer_wheel_is_layer_zero_leaf():
 
 def test_upward_import_is_flagged(tmp_path):
     # A fake repro tree where the bottom layer imports a higher one.
-    pkg = tmp_path / "repro"
-    for sub in ("sim", "net", "obs", "host", "transport", "workload",
-                "core", "analysis", "cli"):
-        (pkg / sub).mkdir(parents=True)
-        (pkg / sub / "__init__.py").write_text("")
-    (pkg / "__init__.py").write_text("")
+    pkg = make_fake_tree(tmp_path)
     (pkg / "sim" / "engine.py").write_text("import repro.host.nic\n")
     proc = run_lint("--root", str(tmp_path))
     assert proc.returncode == 1
@@ -60,12 +66,7 @@ def test_upward_import_is_flagged(tmp_path):
 
 
 def test_function_scope_import_is_exempt(tmp_path):
-    pkg = tmp_path / "repro"
-    for sub in ("sim", "net", "obs", "host", "transport", "workload",
-                "core", "analysis", "cli"):
-        (pkg / sub).mkdir(parents=True)
-        (pkg / sub / "__init__.py").write_text("")
-    (pkg / "__init__.py").write_text("")
+    pkg = make_fake_tree(tmp_path)
     (pkg / "sim" / "engine.py").write_text(
         "def lazy():\n    import repro.cli\n")
     proc = run_lint("--root", str(tmp_path))
@@ -73,14 +74,31 @@ def test_function_scope_import_is_exempt(tmp_path):
 
 
 def test_kernel_modules_importable_from_layer_zero(tmp_path):
-    pkg = tmp_path / "repro"
-    for sub in ("sim", "net", "obs", "host", "transport", "workload",
-                "core", "analysis", "cli"):
-        (pkg / sub).mkdir(parents=True)
-        (pkg / sub / "__init__.py").write_text("")
-    (pkg / "__init__.py").write_text("")
+    pkg = make_fake_tree(tmp_path)
     (pkg / "sim" / "engine.py").write_text(
         "from repro.core.config import ExperimentConfig\n"
         "from repro.core import calibration\n")
     proc = run_lint("--root", str(tmp_path))
     assert proc.returncode == 0, proc.stdout
+
+
+def test_data_package_may_not_import_anything(tmp_path):
+    """Any import in repro.scenarios — even a lazy or layer-legal one —
+    is a violation: specs are data, not code."""
+    pkg = make_fake_tree(tmp_path)
+    (pkg / "scenarios" / "helpers.py").write_text(
+        "def lazy():\n    import json\n")
+    proc = run_lint("--root", str(tmp_path))
+    assert proc.returncode == 1
+    assert "data package repro.scenarios" in proc.stdout
+    assert "may not import anything" in proc.stdout
+
+
+def test_missing_required_package_is_flagged(tmp_path):
+    pkg = make_fake_tree(tmp_path)
+    for child in (pkg / "scenarios").iterdir():
+        child.unlink()
+    (pkg / "scenarios").rmdir()
+    proc = run_lint("--root", str(tmp_path))
+    assert proc.returncode == 1
+    assert "scenarios" in proc.stdout
