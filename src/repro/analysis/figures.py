@@ -276,23 +276,28 @@ def figure_from_scenario(
     workers: int | str | None = None,
     cache: ResultCache | None = None,
     base: Optional[ExperimentConfig] = None,
+    events=None,
+    failures: str = "raise",
 ) -> FigureData:
     """Run a scenario and materialize its ``[render]`` section.
 
     Sweep scenarios yield line-plot panels (with model / max-goodput
     overlays where the spec asks for them); fleet scenarios yield the
-    utilization-vs-drops scatter with summary notes.
+    utilization-vs-drops scatter with summary notes.  ``events`` and
+    ``failures`` pass through to the runner (live telemetry / keep
+    failed rows), as in :func:`repro.core.parallel.run_many`.
     """
     _check_quality(spec, quality)
     if spec.driver == "fleet":
-        samples = spec.run(quality=quality, base=base, workers=workers)
+        samples = spec.run(quality=quality, base=base, workers=workers,
+                           events=events)
         return _fleet_figure(spec, samples)
     if spec.driver != "sweep":
         raise ValueError(
             f"scenario {spec.name!r} (driver {spec.driver!r}) does "
             f"not render as a figure")
     table = spec.run(quality=quality, base=base, workers=workers,
-                     cache=cache)
+                     cache=cache, events=events, failures=failures)
     return _sweep_figure(spec, table,
                          spec.base_config(quality, base))
 

@@ -12,7 +12,8 @@ import re
 from pathlib import Path
 from typing import Dict, List, Optional
 
-__all__ = ["load_results", "metrics_section", "render_report"]
+__all__ = ["ledger_section", "load_results", "metrics_section",
+           "render_report"]
 
 _FIGURE_ORDER = ("figure1", "figure3", "figure4", "figure5", "figure6")
 
@@ -114,11 +115,66 @@ def _per_host_rows(snapshot: dict) -> List[str]:
     return lines
 
 
+#: (aggregate sketch key, display label) rows of the ledger table.
+_LEDGER_SKETCHES = (
+    ("wall_s", "wall time per run (s)"),
+    ("events_per_sec", "engine events/sec"),
+    ("throughput_gbps", "app throughput (Gbps)"),
+    ("drop_rate", "drop rate"),
+    ("link_utilization", "link utilization"),
+)
+
+
+def ledger_section(aggregate: dict,
+                   heading: str = "## Run ledger") -> List[str]:
+    """Markdown lines for one run-ledger aggregate
+    (:meth:`repro.obs.telemetry.RunAggregate.to_dict`, i.e. a
+    ``repro runs show --json-out`` payload)."""
+    lines = [heading, ""]
+    run_id = aggregate.get("run_id") or aggregate.get("label")
+    if run_id:
+        lines.append(f"*{run_id}*")
+        lines.append("")
+    total = aggregate.get("total", 0)
+    done = (aggregate.get("finished", 0) + aggregate.get("failed", 0)
+            + aggregate.get("cached", 0))
+    lines.append(
+        f"Runs: **{done}/{total or done}** — "
+        f"{aggregate.get('finished', 0)} finished, "
+        f"{aggregate.get('cached', 0)} cached, "
+        f"{aggregate.get('failed', 0)} failed.")
+    lines.append("")
+    lines.append("| statistic | p50 | p90 | p99 | n |")
+    lines.append("|---|---|---|---|---|")
+    from repro.obs.sketch import QuantileSketch
+
+    for key, label in _LEDGER_SKETCHES:
+        state = aggregate.get("sketches", {}).get(key)
+        if not state or not state.get("count"):
+            continue
+        sketch = QuantileSketch.from_dict(state)
+        lines.append(
+            f"| {label} | {sketch.quantile(50):g} | "
+            f"{sketch.quantile(90):g} | {sketch.quantile(99):g} | "
+            f"{sketch.count} |")
+    causes = aggregate.get("root_causes", {})
+    if causes:
+        parts = ", ".join(f"{label} {count}" for label, count
+                          in sorted(causes.items(),
+                                    key=lambda kv: (-kv[1], kv[0])))
+        lines.append("")
+        lines.append(f"Root causes: {parts}.")
+    lines.append("")
+    return lines
+
+
 def render_report(results: Dict[str, dict],
                   title: str = "Reproduction report",
-                  metrics: Optional[dict] = None) -> str:
+                  metrics: Optional[dict] = None,
+                  ledger: Optional[dict] = None) -> str:
     """One markdown document: findings + data tables per figure, plus
-    an optional metrics-snapshot section (``metrics``)."""
+    optional metrics-snapshot (``metrics``) and run-ledger aggregate
+    (``ledger``) sections."""
     lines = [f"# {title}", ""]
     total = passed = 0
     for payload in results.values():
@@ -153,6 +209,8 @@ def render_report(results: Dict[str, dict],
         lines.append("")
     if metrics is not None:
         lines.extend(metrics_section(metrics))
+    if ledger is not None:
+        lines.extend(ledger_section(ledger))
     return "\n".join(lines)
 
 
@@ -162,7 +220,9 @@ def write_report(directory: str | Path,
     them (default ``<directory>/REPORT.md``).
 
     A ``metrics.json`` in the directory (a ``--metrics-out`` payload,
-    or a list of them from ``sweep``) is appended as a metrics section.
+    or a list of them from ``sweep``) is appended as a metrics
+    section; a ``ledger.json`` (``repro runs show --json-out``) as a
+    run-ledger section.
     """
     directory = Path(directory)
     results = load_results(directory)
@@ -172,6 +232,11 @@ def write_report(directory: str | Path,
         loaded = json.loads(metrics_path.read_text())
         metrics = loaded[0] if isinstance(loaded, list) and loaded else (
             loaded if isinstance(loaded, dict) else None)
+    ledger: Optional[dict] = None
+    ledger_path = directory / "ledger.json"
+    if ledger_path.exists():
+        ledger = json.loads(ledger_path.read_text())
     path = Path(output) if output else directory / "REPORT.md"
-    path.write_text(render_report(results, metrics=metrics))
+    path.write_text(render_report(results, metrics=metrics,
+                                  ledger=ledger))
     return path

@@ -11,8 +11,14 @@ Commands:
 - ``fleet``    — sample a heterogeneous fleet (Fig. 1) and print scatter
 - ``model``    — evaluate the analytical model at a grid of miss rates
 - ``trace``    — run one experiment traced, export Perfetto JSON
+  (``--sample-interval-us`` adds counter tracks from the telemetry
+  sampler)
 - ``profile``  — run one experiment under the simulation profiler
 - ``cache``    — inspect or clear the on-disk result cache
+- ``runs``     — list/show/tail the JSONL run ledgers written by
+  ``--ledger``
+- ``top``      — dashboard view of a ledger (replay, or follow a
+  sweep running in another terminal)
 
 ``sweep``, ``figure``, and ``scenario run`` all route through the same
 pipeline: scenario-spec expansion into config lists, the parallel
@@ -26,6 +32,12 @@ independent runs out to worker processes (results are bit-identical to
 serial execution); ``sweep`` and ``figure`` memoize results in the
 on-disk cache by default (``--no-cache`` / ``--cache-dir`` to control).
 
+``sweep``, ``fleet``, and ``scenario run`` accept ``--live`` (a
+redraw-in-place dashboard) and ``--ledger`` (a durable JSONL event
+log, inspected later with ``repro runs`` / ``repro top``); sweeps also
+accept ``--keep-failed`` to record crashes as structured FAILED rows
+instead of aborting.
+
 Every command prints to stdout and returns a process exit code, so the
 CLI composes with shell pipelines and CI.
 """
@@ -35,6 +47,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -91,6 +104,62 @@ def _cache_from_args(args: argparse.Namespace):
     if getattr(args, "no_cache", False):
         return None
     return ResultCache(args.cache_dir)
+
+
+def _telemetry_args(parser: argparse.ArgumentParser,
+                    keep_failed: bool = True) -> None:
+    parser.add_argument("--live", action="store_true",
+                        help="redraw-in-place live dashboard "
+                             "(progress, workers, sketches, ETA)")
+    parser.add_argument("--ledger", action="store_true",
+                        help="append lifecycle events to a JSONL run "
+                             "ledger (see 'repro runs')")
+    parser.add_argument("--ledger-dir", default=None,
+                        help="ledger directory (default "
+                             "$REPRO_LEDGER_DIR or <cache dir>/ledger)")
+    if keep_failed:
+        parser.add_argument("--keep-failed", action="store_true",
+                            help="record crashed runs as FAILED rows "
+                                 "(with exception info) instead of "
+                                 "aborting the sweep")
+
+
+class _Telemetry:
+    """CLI-side composition of the optional event sinks.
+
+    ``sink`` is the ``events=`` callable for the runner (``None`` when
+    neither ``--live`` nor ``--ledger`` was given — the runner then
+    does zero telemetry work); ``finish(ok)`` seals the ledger and
+    paints the dashboard's final frame.
+    """
+
+    def __init__(self, args: argparse.Namespace, label: str):
+        self.ledger = None
+        self.dashboard = None
+        if getattr(args, "ledger", False):
+            from repro.core.ledger import LedgerWriter
+
+            self.ledger = LedgerWriter(directory=args.ledger_dir,
+                                       label=label)
+        if getattr(args, "live", False):
+            from repro.obs.live import LiveDashboard
+
+            self.dashboard = LiveDashboard()
+        self.sink = None
+        if self.ledger is not None or self.dashboard is not None:
+            def sink(event: dict) -> None:
+                if self.ledger is not None:
+                    self.ledger.append(event)
+                if self.dashboard is not None:
+                    self.dashboard.update(event)
+            self.sink = sink
+
+    def finish(self, ok: bool = True) -> None:
+        if self.dashboard is not None:
+            self.dashboard.close()
+        if self.ledger is not None:
+            self.ledger.close(ok=ok)
+            print(f"ledger: {self.ledger.path}")
 
 
 def _transport_choices() -> tuple:
@@ -218,24 +287,33 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     snapshots: Optional[list] = [] if args.metrics_out else None
     cache = _cache_from_args(args)
+    telemetry = _Telemetry(args, label=f"sweep-{args.axis}")
     run_opts = dict(base=base, snapshots_out=snapshots,
                     workers=args.workers, timeout=args.timeout_s,
-                    cache=cache)
-    if args.axis == "cores":
-        table = sweep_receiver_cores(cores=tuple(args.values), **run_opts)
-        x_key = "cores"
-    elif args.axis == "region":
-        table = sweep_region_size(
-            region_mb=tuple(int(v) for v in args.values), **run_opts)
-        x_key = "rx_region_mb"
-    elif args.axis == "receivers":
-        table = sweep_receivers(
-            receivers=tuple(int(v) for v in args.values), **run_opts)
-        x_key = "receivers"
-    else:
-        table = sweep_antagonist_cores(
-            antagonists=tuple(int(v) for v in args.values), **run_opts)
-        x_key = "antagonist_cores"
+                    cache=cache, events=telemetry.sink,
+                    failures="keep" if args.keep_failed else "raise")
+    try:
+        if args.axis == "cores":
+            table = sweep_receiver_cores(cores=tuple(args.values),
+                                         **run_opts)
+            x_key = "cores"
+        elif args.axis == "region":
+            table = sweep_region_size(
+                region_mb=tuple(int(v) for v in args.values), **run_opts)
+            x_key = "rx_region_mb"
+        elif args.axis == "receivers":
+            table = sweep_receivers(
+                receivers=tuple(int(v) for v in args.values), **run_opts)
+            x_key = "receivers"
+        else:
+            table = sweep_antagonist_cores(
+                antagonists=tuple(int(v) for v in args.values),
+                **run_opts)
+            x_key = "antagonist_cores"
+    except BaseException:
+        telemetry.finish(ok=False)
+        raise
+    telemetry.finish()
     _print_sweep_table(table, x_key)
     if cache is not None and cache.hits:
         print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es)")
@@ -311,12 +389,22 @@ def _run_scenario(spec, args: argparse.Namespace) -> int:
     render = spec.render
     print(f"scenario {spec.name} ({spec.source}): driver {spec.driver}"
           + (f", quality {args.quality}" if args.quality else ""))
+    telemetry = _Telemetry(args, label=f"scenario-{spec.name}")
+    failures = "keep" if args.keep_failed else "raise"
 
     if spec.driver in ("sweep", "fleet") and render is not None \
-            and render.style in ("panels", "scatter"):
+            and render.style in ("panels", "scatter") \
+            and not args.metrics_out:
         cache = _cache_from_args(args) if spec.driver == "sweep" else None
-        fig = figure_from_scenario(spec, quality=args.quality,
-                                   workers=args.workers, cache=cache)
+        try:
+            fig = figure_from_scenario(spec, quality=args.quality,
+                                       workers=args.workers, cache=cache,
+                                       events=telemetry.sink,
+                                       failures=failures)
+        except BaseException:
+            telemetry.finish(ok=False)
+            raise
+        telemetry.finish()
         print(fig.render())
         if cache is not None and cache.hits:
             print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es)")
@@ -330,8 +418,16 @@ def _run_scenario(spec, args: argparse.Namespace) -> int:
 
     if spec.driver == "sweep":
         cache = _cache_from_args(args)
-        table = spec.run(quality=args.quality, workers=args.workers,
-                         timeout=args.timeout_s, cache=cache)
+        snapshots: Optional[list] = [] if args.metrics_out else None
+        try:
+            table = spec.run(quality=args.quality, workers=args.workers,
+                             timeout=args.timeout_s, cache=cache,
+                             snapshots_out=snapshots,
+                             events=telemetry.sink, failures=failures)
+        except BaseException:
+            telemetry.finish(ok=False)
+            raise
+        telemetry.finish()
         x_key = render.x if render is not None and render.x else "seed"
         _print_sweep_table(table, x_key)
         if cache is not None and cache.hits:
@@ -339,7 +435,13 @@ def _run_scenario(spec, args: argparse.Namespace) -> int:
         if args.csv:
             table.to_csv(args.csv)
             print(f"wrote {args.csv}")
+        if args.metrics_out:
+            _write_metrics(args.metrics_out, snapshots)
         return 0
+
+    # Remaining drivers emit no lifecycle events; seal any ledger the
+    # flags opened so it is not left dangling.
+    telemetry.finish()
 
     if spec.driver == "day":
         bins = spec.run(quality=args.quality)
@@ -403,7 +505,14 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     sampler = FleetSampler(seed=args.seed,
                            warmup=args.warmup_ms * 1e-3,
                            duration=args.duration_ms * 1e-3)
-    samples = sampler.run(args.hosts, workers=args.workers)
+    telemetry = _Telemetry(args, label="fleet")
+    try:
+        samples = sampler.run(args.hosts, workers=args.workers,
+                              events=telemetry.sink)
+    except BaseException:
+        telemetry.finish(ok=False)
+        raise
+    telemetry.finish()
     points = [(s.link_utilization, s.drop_rate) for s in samples]
     print(scatter_plot(points, title="fleet drop rate vs utilization",
                        x_label="link utilization", y_label="drop rate"))
@@ -418,6 +527,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     config = _config_from_args(args, trace=True,
                                trace_max_records=args.max_records)
+    if args.sample_interval_us is not None:
+        config = dataclasses.replace(
+            config, sim=dataclasses.replace(
+                config.sim,
+                sample_interval=args.sample_interval_us * 1e-6))
     print(f"tracing: {config.describe()}")
     handle = ExperimentHandle(config)
     if not args.include_warmup:
@@ -428,17 +542,105 @@ def cmd_trace(args: argparse.Namespace) -> int:
         handle.tracer.enabled = True
     handle.run_measurement()
     tracer = handle.tracer
-    path = write_trace(args.out, tracer)
+    samples = handle.telemetry_samples()
+    path = write_trace(args.out, tracer, counter_samples=samples)
     by_component: dict = {}
     for record in tracer.records:
         by_component[record.component] = (
             by_component.get(record.component, 0) + 1)
     print(f"kept {len(tracer)} records "
           f"({tracer.dropped} evicted, {tracer.open_spans} spans open)")
+    if samples:
+        tracks = len({sample.name for sample in samples})
+        print(f"counter tracks: {tracks} metrics × "
+              f"{handle.sampler.ticks} ticks "
+              f"({len(samples)} samples)")
     for component, count in sorted(by_component.items(),
                                    key=lambda kv: -kv[1]):
         print(f"  {component:<12} {count}")
     print(f"wrote {path} — open it at https://ui.perfetto.dev")
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    from repro.core.ledger import (
+        iter_run,
+        list_runs,
+        resolve_run,
+        summarize_run,
+    )
+
+    if args.runs_command == "list":
+        runs = list_runs(args.ledger_dir)
+        if not runs:
+            print("no ledgers recorded (run a sweep with --ledger)")
+            return 0
+        width = max(len(info.run_id) for info in runs)
+        for info in runs:
+            state = "done" if info.finished else "in progress"
+            print(f"{info.run_id:<{width}}  {info.rows:>5} rows  "
+                  f"[{state}]")
+        return 0
+
+    try:
+        path = resolve_run(args.run, args.ledger_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+
+    if args.runs_command == "tail":
+        for event in list(iter_run(path))[-args.lines:]:
+            print(json.dumps(event, separators=(",", ":")))
+        return 0
+
+    # show: the summary reconstructed from the ledger alone.
+    aggregate = summarize_run(path)
+    for line in aggregate.format_lines():
+        print(line)
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(aggregate.to_dict(), indent=1))
+        print(f"wrote aggregate to {args.json_out}")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Replay (or follow) a ledger through the live dashboard."""
+    import time as _time
+
+    from repro.core.ledger import iter_run, resolve_run
+    from repro.obs.live import LiveDashboard
+
+    try:
+        path = resolve_run(args.run, args.ledger_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    dashboard = LiveDashboard()
+    if args.once:
+        for event in iter_run(path):
+            dashboard.aggregate.fold(event)
+        dashboard.close()
+        return 0
+    # Follow mode: poll the file for appended rows until the `end` row
+    # lands (or Ctrl-C).
+    position = 0
+    try:
+        while True:
+            with open(path) as fh:
+                fh.seek(position)
+                chunk = fh.read()
+                position = fh.tell()
+            for line in chunk.splitlines():
+                line = line.strip()
+                if line:
+                    dashboard.update(json.loads(line))
+            if dashboard.aggregate.ended:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    dashboard.close()
     return 0
 
 
@@ -518,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-run wall-clock budget; over-budget "
                               "runs become FAILED rows, not aborts")
     _parallel_args(p_sweep)
+    _telemetry_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_scen = sub.add_parser(
@@ -553,7 +756,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="directory for rendered-figure CSVs")
     p_scen_run.add_argument("--timeout-s", type=float, default=None,
                             help="per-run wall-clock budget")
+    p_scen_run.add_argument("--metrics-out",
+                            help="write per-run metrics snapshots as "
+                                 "JSON (sweep drivers)")
     _parallel_args(p_scen_run)
+    _telemetry_args(p_scen_run)
     p_scen_run.set_defaults(func=cmd_scenario)
 
     p_trace = sub.add_parser(
@@ -565,6 +772,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="flight-recorder capacity")
     p_trace.add_argument("--include-warmup", action="store_true",
                          help="also trace the warmup window")
+    p_trace.add_argument("--sample-interval-us", type=float, default=None,
+                         help="also sample every counter/gauge at this "
+                              "sim-time cadence and export them as "
+                              "Perfetto counter tracks")
     p_trace.set_defaults(func=cmd_trace)
 
     p_prof = sub.add_parser(
@@ -591,7 +802,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--warmup-ms", type=float, default=3.0)
     p_fleet.add_argument("--duration-ms", type=float, default=6.0)
     _parallel_args(p_fleet, cache_flags=False)
+    _telemetry_args(p_fleet, keep_failed=False)
     p_fleet.set_defaults(func=cmd_fleet)
+
+    p_runs = sub.add_parser(
+        "runs", help="inspect the JSONL run ledgers")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    p_runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    p_runs_list.add_argument("--ledger-dir", default=None)
+    p_runs_list.set_defaults(func=cmd_runs)
+    p_runs_show = runs_sub.add_parser(
+        "show", help="summarize one run from its ledger alone")
+    p_runs_show.add_argument("run", nargs="?", default="latest",
+                             help="run id, unique prefix, path, or "
+                                  "'latest' (default)")
+    p_runs_show.add_argument("--ledger-dir", default=None)
+    p_runs_show.add_argument("--json-out", default=None,
+                             help="also write the mergeable aggregate "
+                                  "as JSON")
+    p_runs_show.set_defaults(func=cmd_runs)
+    p_runs_tail = runs_sub.add_parser(
+        "tail", help="print the last rows of a run's ledger")
+    p_runs_tail.add_argument("run", nargs="?", default="latest")
+    p_runs_tail.add_argument("-n", "--lines", type=int, default=10)
+    p_runs_tail.add_argument("--ledger-dir", default=None)
+    p_runs_tail.set_defaults(func=cmd_runs)
+
+    p_top = sub.add_parser(
+        "top", help="dashboard view of a ledger (replay or follow)")
+    p_top.add_argument("run", nargs="?", default="latest")
+    p_top.add_argument("--ledger-dir", default=None)
+    p_top.add_argument("--once", action="store_true",
+                       help="render the current state once and exit")
+    p_top.add_argument("--interval", type=float, default=0.5,
+                       help="follow-mode poll interval, seconds")
+    p_top.set_defaults(func=cmd_top)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache")
@@ -613,7 +858,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # ``repro runs tail | head`` closes stdout mid-print; exit
+        # quietly like other unix tools.  Redirect the dangling fd so
+        # the interpreter's shutdown flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ experiment fails at construction, not 30 simulated milliseconds in.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.core import calibration as cal
 
@@ -354,6 +354,10 @@ class SimConfig:
     #: Flight-recorder capacity when tracing is on (oldest records are
     #: evicted and counted once the ring is full).
     trace_max_records: int = 1_000_000
+    #: Sim-time seconds between live-telemetry polls of the metrics
+    #: registry (see :mod:`repro.obs.telemetry`); ``None`` disables the
+    #: sampler entirely — the default, costing the hot path nothing.
+    sample_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         _require(self.warmup >= 0, "negative warmup")
@@ -361,6 +365,8 @@ class SimConfig:
         _require(self.seed >= 0, "seed must be non-negative")
         _require(self.trace_max_records > 0,
                  "trace_max_records must be positive")
+        _require(self.sample_interval is None or self.sample_interval > 0,
+                 "sample_interval must be positive when set")
 
     @property
     def end_time(self) -> float:

@@ -21,6 +21,7 @@ from repro.core.metrics import summarize
 from repro.core.results import ExperimentResult
 from repro.core.topology import GraphBuilder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import MetricsSampler, TelemetryBus
 from repro.sim.engine import Simulator
 from repro.sim.tracing import Tracer
 
@@ -44,12 +45,31 @@ class ExperimentHandle:
         self.workload = self.topology
         self.host = self.topology.host
         self.topology.bind_metrics(self.metrics)
+        # Opt-in live telemetry: a sampler polling the registry onto a
+        # bus on a sim-time cadence.  Off (None) by default — building
+        # it costs nothing on the normal path, and its reads cannot
+        # perturb results (see obs.telemetry).
+        self.telemetry: Optional[TelemetryBus] = None
+        self.sampler: Optional[MetricsSampler] = None
+        self._telemetry_capture = None
+        if config.sim.sample_interval is not None:
+            self.telemetry = TelemetryBus()
+            self.sampler = MetricsSampler(
+                self.sim, self.metrics, self.telemetry,
+                interval=config.sim.sample_interval)
+            self.sampler.bind_metrics(self.metrics)
+            self._telemetry_capture = self.telemetry.subscribe(
+                maxlen=262144)
         self._measuring = False
 
     def run_warmup(self) -> None:
         self.sim.run(until=self.config.sim.warmup)
         self.topology.reset_stats()
         self.metrics.reset_window()
+        # The sampling epoch is the warmup boundary: ticks land at
+        # warmup + k·interval, aligned with the measurement window.
+        if self.sampler is not None:
+            self.sampler.start()
         self._measuring = True
 
     def run_measurement(self) -> None:
@@ -68,7 +88,22 @@ class ExperimentHandle:
             "trace_records": len(self.tracer),
             "trace_dropped": self.tracer.dropped,
         }
+        if self._telemetry_capture is not None:
+            snapshot["telemetry"] = {
+                "interval": self.config.sim.sample_interval,
+                "ticks": self.sampler.ticks,
+                "dropped": self._telemetry_capture.dropped,
+                "samples": [sample.as_list()
+                            for sample in self._telemetry_capture],
+            }
         return snapshot
+
+    def telemetry_samples(self) -> list:
+        """Samples captured so far (non-draining); empty when the
+        sampler is disabled."""
+        if self._telemetry_capture is None:
+            return []
+        return list(self._telemetry_capture)
 
     def collect(self) -> ExperimentResult:
         topology = self.topology

@@ -15,10 +15,22 @@ keeping the output bit-identical to a serial run:
   perturb a single bit.
 
 Failure semantics: a worker exception aborts the sweep with a
-:class:`SweepRunError` carrying the offending config; a per-run
-*timeout* instead yields a structured
-:class:`~repro.core.results.FailedRun` placeholder in the table, so one
-pathological operating point cannot sink a 20-run figure sweep.
+:class:`SweepRunError` carrying the offending config — unless
+``failures="keep"``, which instead yields a structured
+:class:`~repro.core.results.FailedRun` (exception class + truncated
+traceback attached) in the table.  A per-run *timeout* always yields a
+``FailedRun`` placeholder, so one pathological operating point cannot
+sink a 20-run figure sweep.
+
+Live telemetry: pass ``events`` (any callable taking a dict) and the
+runner streams lifecycle events — ``plan``, ``queued``, ``cached``,
+``started``, ``finished``, ``failed`` — as they happen.  ``started``
+originates *inside* the worker process and travels over a managed
+multiprocessing queue that exists only while a sink is attached; with
+``events=None`` (the default) no queue, no manager process, and no
+per-run stats collection happen at all.  Event dicts are exactly the
+rows of the JSONL run ledger (:mod:`repro.core.ledger`) and the input
+to :class:`~repro.obs.telemetry.RunAggregate`.
 
 Serial execution (``workers=1``) goes through the same single-run
 worker function as the pool path — one code shape, one set of
@@ -28,13 +40,14 @@ worth its fork cost.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import signal
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.cache import ResultCache
 from repro.core.config import ExperimentConfig
@@ -49,6 +62,12 @@ __all__ = [
 ]
 
 Workers = Union[int, str, None]
+EventSink = Callable[[Dict], None]
+
+#: result.metrics keys copied into ``finished``/``cached`` events for
+#: live sketches — the headline observables of the paper.
+_HEADLINE_METRICS = ("app_throughput_gbps", "drop_rate",
+                     "link_utilization")
 
 
 class SweepRunError(RuntimeError):
@@ -101,27 +120,72 @@ def _raise_timeout(signum, frame):
     raise _RunTimeout()
 
 
+#: Worker-side event channel: a managed queue's ``put``, installed by
+#: the pool initializer when (and only when) telemetry is on.  ``None``
+#: means silent — the default, and the entire cost when disabled.
+_EVENT_SINK: Optional[EventSink] = None
+
+
+def _init_worker(queue) -> None:
+    global _EVENT_SINK
+    _EVENT_SINK = queue.put
+
+
+def _peak_rss_kb() -> Optional[int]:
+    try:
+        import resource
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:
+        return None
+
+
+def _headline(result: ExperimentResult) -> Dict[str, float]:
+    return {key: result.metrics[key] for key in _HEADLINE_METRICS
+            if key in result.metrics}
+
+
 def _execute(index: int, config: ExperimentConfig, want_snapshot: bool,
-             timeout: Optional[float]) -> Tuple[int, tuple]:
+             timeout: Optional[float],
+             emit: Optional[EventSink] = None) -> Tuple[int, tuple]:
     """Run one experiment (worker side — also the serial code path).
 
     Returns ``(index, payload)`` where payload is one of
-    ``("ok", result, snapshot)``, ``("timeout", failed_run)``, or
-    ``("error", message, traceback_text)``.  Exceptions never escape:
-    they are serialized so the parent can attach the config.
+    ``("ok", result, snapshot, stats)``,
+    ``("timeout", failed_run, stats)``, or
+    ``("error", message, traceback_text, exception_type, stats)``.
+    Exceptions never escape: they are serialized so the parent can
+    attach the config.  ``stats`` is ``None`` unless an event sink is
+    attached (serial: ``emit``; pool: the initializer-installed queue)
+    — telemetry off means zero extra work here.
     """
+    sink = emit if emit is not None else _EVENT_SINK
+    if sink is not None:
+        sink({"ev": "started", "index": index, "pid": os.getpid(),
+              "ts": time.time()})
     start = time.perf_counter()
+
+    def stats_for(handles: list) -> Optional[dict]:
+        if sink is None:
+            return None
+        stats = {"wall_s": time.perf_counter() - start,
+                 "pid": os.getpid(), "ts": time.time(),
+                 "peak_rss_kb": _peak_rss_kb()}
+        if handles:
+            stats["sim_s"] = handles[0].sim.now
+            stats["engine_events"] = handles[0].sim.events_dispatched
+        return stats
+
     # Enforce the per-run timeout with a real interval timer where the
     # platform has one (ProcessPoolExecutor workers are single-threaded
     # main threads, so SIGALRM is safe); elsewhere fall back to a
     # post-hoc wall-clock check.
     arm = timeout is not None and hasattr(signal, "SIGALRM")
+    handles: list = []
     try:
         if arm:
             previous = signal.signal(signal.SIGALRM, _raise_timeout)
             signal.setitimer(signal.ITIMER_REAL, timeout)
         try:
-            handles: list = []
             result = run_experiment(config, handle_out=handles)
             snapshot = (handles[0].metrics_snapshot()
                         if want_snapshot else None)
@@ -135,16 +199,17 @@ def _execute(index: int, config: ExperimentConfig, want_snapshot: bool,
             config, kind="timeout",
             error=f"run exceeded {timeout:g}s timeout",
             elapsed_s=elapsed)
-        return index, ("timeout", failed)
-    except Exception as exc:  # serialized for the parent to re-raise
-        return index, ("error", repr(exc), traceback.format_exc())
+        return index, ("timeout", failed, stats_for(handles))
+    except Exception as exc:  # serialized for the parent to attach config
+        return index, ("error", repr(exc), traceback.format_exc(),
+                       type(exc).__name__, stats_for(handles))
     elapsed = time.perf_counter() - start
     if timeout is not None and not arm and elapsed > timeout:
         failed = FailedRun.from_config(
             config, kind="timeout",
             error=f"run exceeded {timeout:g}s timeout", elapsed_s=elapsed)
-        return index, ("timeout", failed)
-    return index, ("ok", result, snapshot)
+        return index, ("timeout", failed, stats_for(handles))
+    return index, ("ok", result, snapshot, stats_for(handles))
 
 
 def run_many(
@@ -155,17 +220,29 @@ def run_many(
     want_snapshots: bool = False,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[int, ExperimentResult], None]] = None,
+    events: Optional[EventSink] = None,
+    failures: str = "raise",
 ) -> List[RunOutcome]:
     """Run every config and return outcomes in input order.
 
     ``progress`` is invoked once per finished run with the run's table
     index and result — in completion order under a pool, which is table
     order only for serial execution.
+
+    ``events`` receives lifecycle event dicts (see module docstring) as
+    they happen; ``None`` disables all telemetry work.  ``failures``
+    selects crash semantics: ``"raise"`` aborts the sweep with
+    :class:`SweepRunError`; ``"keep"`` records a structured
+    :class:`FailedRun` row and keeps sweeping.
     """
+    if failures not in ("raise", "keep"):
+        raise ValueError(
+            f"failures must be 'raise' or 'keep', got {failures!r}")
     configs = list(configs)
     outcomes: List[Optional[RunOutcome]] = [None] * len(configs)
 
     pending: List[int] = []
+    cached_hits: List[Tuple[int, RunOutcome]] = []
     for index, config in enumerate(configs):
         hit = (cache.get(config, want_snapshot=want_snapshots)
                if cache is not None else None)
@@ -174,26 +251,68 @@ def run_many(
                 index=index, result=hit.result,
                 snapshot=hit.snapshot if want_snapshots else None,
                 cached=True)
-            if progress is not None:
-                progress(index, hit.result)
+            cached_hits.append((index, outcomes[index]))
         else:
             pending.append(index)
+
+    if events is not None:
+        events({"ev": "plan", "total": len(configs),
+                "pending": len(pending), "cached": len(cached_hits),
+                "ts": time.time()})
+        for index in pending:
+            events({"ev": "queued", "index": index,
+                    "params": configs[index].describe(),
+                    "ts": time.time()})
+    for index, outcome in cached_hits:
+        if events is not None:
+            events({"ev": "cached", "index": index,
+                    "params": configs[index].describe(),
+                    "metrics": _headline(outcome.result),
+                    "ts": time.time()})
+        if progress is not None:
+            progress(index, outcome.result)
 
     # Snapshots are computed in-worker whenever they are wanted *or*
     # cached, so a later `--metrics-out` rerun can hit the same entry.
     want = want_snapshots or cache is not None
 
     def finalize(index: int, payload: tuple) -> None:
-        if payload[0] == "error":
-            raise SweepRunError(index, configs[index], payload[1],
-                                worker_traceback=payload[2])
-        if payload[0] == "timeout":
-            outcomes[index] = RunOutcome(index=index, result=payload[1],
+        kind = payload[0]
+        if kind == "error":
+            _, message, tb_text, exc_type, stats = payload
+            if events is not None:
+                events({"ev": "failed", "index": index,
+                        "failure_kind": "error", "error": message,
+                        "exception_type": exc_type,
+                        "traceback_tail":
+                            tb_text[-FailedRun.TRACEBACK_LIMIT:],
+                        **(stats or {"ts": time.time()})})
+            if failures == "raise":
+                raise SweepRunError(index, configs[index], message,
+                                    worker_traceback=tb_text)
+            failed = FailedRun.from_config(
+                configs[index], kind="error", error=message,
+                elapsed_s=(stats or {}).get("wall_s", 0.0),
+                exception_type=exc_type, traceback_text=tb_text)
+            outcomes[index] = RunOutcome(index=index, result=failed,
+                                         snapshot=None)
+        elif kind == "timeout":
+            _, failed, stats = payload
+            if events is not None:
+                events({"ev": "failed", "index": index,
+                        "failure_kind": "timeout", "error": failed.error,
+                        **(stats or {"ts": time.time()})})
+            outcomes[index] = RunOutcome(index=index, result=failed,
                                          snapshot=None)
         else:
-            _, result, snapshot = payload
+            _, result, snapshot, stats = payload
             if cache is not None:
                 cache.put(configs[index], result, snapshot)
+            if events is not None:
+                events({"ev": "finished", "index": index,
+                        "params": configs[index].describe(),
+                        "metrics": _headline(result),
+                        **(stats or {"ts": time.time()})})
             outcomes[index] = RunOutcome(
                 index=index, result=result,
                 snapshot=snapshot if want_snapshots else None)
@@ -203,18 +322,58 @@ def run_many(
     n_workers = min(resolve_workers(workers), max(1, len(pending)))
     if n_workers == 1:
         for index in pending:
-            _, payload = _execute(index, configs[index], want, timeout)
+            _, payload = _execute(index, configs[index], want, timeout,
+                                  emit=events)
             finalize(index, payload)
     elif pending:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        _run_pool(configs, pending, want, timeout, n_workers, events,
+                  finalize)
+
+    return outcomes  # type: ignore[return-value]
+
+
+def _run_pool(configs, pending, want, timeout, n_workers,
+              events: Optional[EventSink], finalize) -> None:
+    """Fan ``pending`` out to a process pool, streaming worker events.
+
+    When ``events`` is set, a manager-hosted queue is handed to every
+    worker via the pool initializer; the parent drains it between
+    future completions (and once more at the end), so in-worker
+    ``started`` events interleave with parent-side ``finished`` ones.
+    Ordering across processes is best-effort — consumers must not
+    assume ``started`` precedes its ``finished`` row.
+    """
+    manager = None
+    queue = None
+    pool_kwargs: dict = {}
+    try:
+        if events is not None:
+            manager = multiprocessing.Manager()
+            queue = manager.Queue()
+            pool_kwargs = {"initializer": _init_worker,
+                           "initargs": (queue,)}
+
+        def drain() -> None:
+            if queue is None:
+                return
+            while not queue.empty():
+                events(queue.get_nowait())
+
+        with ProcessPoolExecutor(max_workers=n_workers,
+                                 **pool_kwargs) as pool:
             futures = {
                 pool.submit(_execute, index, configs[index], want, timeout)
                 for index in pending
             }
             try:
                 while futures:
-                    done, futures = wait(futures,
-                                         return_when=FIRST_COMPLETED)
+                    if queue is not None:
+                        done, futures = wait(futures, timeout=0.2,
+                                             return_when=FIRST_COMPLETED)
+                        drain()
+                    else:
+                        done, futures = wait(futures,
+                                             return_when=FIRST_COMPLETED)
                     for future in done:
                         index, payload = future.result()
                         finalize(index, payload)
@@ -223,5 +382,7 @@ def run_many(
                 # queued work so shutdown does not run it to completion.
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
-
-    return outcomes  # type: ignore[return-value]
+        drain()
+    finally:
+        if manager is not None:
+            manager.shutdown()

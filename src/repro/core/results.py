@@ -60,19 +60,31 @@ class FailedRun(ExperimentResult):
     kind: str = "error"
     #: Wall-clock seconds spent before the run was abandoned.
     elapsed_s: float = 0.0
+    #: Exception class name (``"ValueError"``); empty for timeouts.
+    exception_type: str = ""
+    #: Tail of the worker traceback, bounded so CSV cells stay sane.
+    traceback_tail: str = ""
+
+    #: Characters of traceback kept (the tail names the raise site).
+    TRACEBACK_LIMIT = 1200
 
     @classmethod
     def from_config(cls, config, *, kind: str, error: str,
-                    elapsed_s: float = 0.0) -> "FailedRun":
+                    elapsed_s: float = 0.0, exception_type: str = "",
+                    traceback_text: str = "") -> "FailedRun":
         params = dict(config.describe())
         params["failed"] = True
+        tail = traceback_text[-cls.TRACEBACK_LIMIT:]
         return cls(params=params, metrics={}, message_latency_us={},
-                   error=error, kind=kind, elapsed_s=elapsed_s)
+                   error=error, kind=kind, elapsed_s=elapsed_s,
+                   exception_type=exception_type, traceback_tail=tail)
 
     def as_flat_dict(self) -> Dict[str, Any]:
         row = super().as_flat_dict()
         row["error"] = self.error
         row["failure_kind"] = self.kind
+        row["exception_type"] = self.exception_type
+        row["traceback_tail"] = self.traceback_tail
         return row
 
 

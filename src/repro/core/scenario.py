@@ -542,6 +542,8 @@ class ScenarioSpec:
         workers: Workers = None,
         timeout: Optional[float] = None,
         cache: Optional[ResultCache] = None,
+        events: Optional[Callable[[dict], None]] = None,
+        failures: str = "raise",
     ):
         """Run the scenario through the shared execution pipeline.
 
@@ -549,16 +551,21 @@ class ScenarioSpec:
         :class:`~repro.workload.fleet.FleetSample` for fleet ones, a
         list of :class:`~repro.workload.day.DayBin` for day ones, and
         a dict of :class:`~repro.workload.isolation.IsolationResult`
-        for isolation ones.
+        for isolation ones.  ``events``/``failures`` stream lifecycle
+        telemetry and select crash semantics exactly as in
+        :func:`repro.core.parallel.run_many` (sweep and fleet drivers
+        only).
         """
         if self.driver == "sweep":
             return run_configs(self.expand(quality, base),
                                progress=progress,
                                snapshots_out=snapshots_out,
                                workers=workers, timeout=timeout,
-                               cache=cache)
+                               cache=cache, events=events,
+                               failures=failures)
         if self.driver == "fleet":
-            return self._run_fleet(quality, base, workers=workers)
+            return self._run_fleet(quality, base, workers=workers,
+                                   events=events)
         if self.driver == "day":
             return self._run_day(quality, base)
         if self.driver == "isolation":
@@ -566,7 +573,8 @@ class ScenarioSpec:
         raise ScenarioError(
             f"{self.source}: unknown driver {self.driver!r}")
 
-    def _run_fleet(self, quality, base, *, workers: Workers = None):
+    def _run_fleet(self, quality, base, *, workers: Workers = None,
+                   events=None):
         from repro.workload.fleet import FleetSampler
 
         config = self.base_config(quality, base)
@@ -575,7 +583,7 @@ class ScenarioSpec:
             warmup=config.sim.warmup,
             duration=config.sim.duration)
         n_hosts = int(self.driver_args.get("n_hosts", 30))
-        return sampler.run(n_hosts, workers=workers)
+        return sampler.run(n_hosts, workers=workers, events=events)
 
     def _run_day(self, quality, base):
         from repro.workload.day import diurnal_schedule, simulate_day
@@ -837,18 +845,23 @@ def run_configs(
     workers: Workers = None,
     timeout: Optional[float] = None,
     cache: Optional[ResultCache] = None,
+    events: Optional[Callable[[dict], None]] = None,
+    failures: str = "raise",
 ) -> ResultTable:
     """Run every config and collect results, optionally in parallel.
 
     This is the one execution path behind ``run_sweep``, the
     ``sweep_*`` helpers, every figure, and ``repro scenario run``: the
     parallel executor (``workers=``), per-run ``timeout`` →
-    :class:`~repro.core.results.FailedRun` rows, and the on-disk
-    result ``cache`` all apply uniformly.
+    :class:`~repro.core.results.FailedRun` rows, the on-disk result
+    ``cache``, and the telemetry event stream (``events=`` /
+    ``failures=``, see :func:`~repro.core.parallel.run_many`) all
+    apply uniformly.
     """
     outcomes = run_many(configs, workers=workers, timeout=timeout,
                         want_snapshots=snapshots_out is not None,
-                        cache=cache, progress=progress)
+                        cache=cache, progress=progress, events=events,
+                        failures=failures)
     table = ResultTable()
     for outcome in outcomes:
         table.append(outcome.result)

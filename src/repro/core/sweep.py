@@ -59,6 +59,8 @@ def run_sweep(
     workers: Workers = None,
     timeout: Optional[float] = None,
     cache: Optional[ResultCache] = None,
+    events: Optional[Callable[[dict], None]] = None,
+    failures: str = "raise",
 ) -> ResultTable:
     """Run each config and collect results, optionally in parallel.
 
@@ -79,7 +81,8 @@ def run_sweep(
     """
     return run_configs(configs, progress=progress,
                        snapshots_out=snapshots_out, workers=workers,
-                       timeout=timeout, cache=cache)
+                       timeout=timeout, cache=cache, events=events,
+                       failures=failures)
 
 
 def _sweep_spec(name: str, axes: List[SweepAxis],
@@ -99,6 +102,8 @@ def sweep_receiver_cores(
     workers: Workers = None,
     timeout: Optional[float] = None,
     cache: Optional[ResultCache] = None,
+    events: Optional[Callable[[dict], None]] = None,
+    failures: str = "raise",
 ) -> ResultTable:
     """Figures 3 and 4: throughput/drops/misses vs receiver cores."""
     spec = _sweep_spec(
@@ -108,7 +113,8 @@ def sweep_receiver_cores(
         {} if hugepages is None else {"host.hugepages": hugepages})
     return spec.run(base=base or baseline_config(), progress=progress,
                     snapshots_out=snapshots_out, workers=workers,
-                    timeout=timeout, cache=cache)
+                    timeout=timeout, cache=cache, events=events,
+                    failures=failures)
 
 
 def sweep_region_size(
@@ -121,6 +127,8 @@ def sweep_region_size(
     workers: Workers = None,
     timeout: Optional[float] = None,
     cache: Optional[ResultCache] = None,
+    events: Optional[Callable[[dict], None]] = None,
+    failures: str = "raise",
 ) -> ResultTable:
     """Figure 5: throughput/drops/misses vs Rx memory region size."""
     spec = _sweep_spec(
@@ -130,7 +138,8 @@ def sweep_region_size(
                    scale=2**20)])
     return spec.run(base=base or baseline_config(), progress=progress,
                     snapshots_out=snapshots_out, workers=workers,
-                    timeout=timeout, cache=cache)
+                    timeout=timeout, cache=cache, events=events,
+                    failures=failures)
 
 
 def sweep_receivers(
@@ -142,6 +151,8 @@ def sweep_receivers(
     workers: Workers = None,
     timeout: Optional[float] = None,
     cache: Optional[ResultCache] = None,
+    events: Optional[Callable[[dict], None]] = None,
+    failures: str = "raise",
 ) -> ResultTable:
     """Multi-receiver incast scale-out: M receiver hosts behind one
     fabric, each with its own ``senders``-way incast.
@@ -157,7 +168,8 @@ def sweep_receivers(
         [SweepAxis("workload.receivers", tuple(receivers))])
     return spec.run(base=base or baseline_config(), progress=progress,
                     snapshots_out=snapshots_out, workers=workers,
-                    timeout=timeout, cache=cache)
+                    timeout=timeout, cache=cache, events=events,
+                    failures=failures)
 
 
 def sweep_antagonist_cores(
@@ -170,6 +182,8 @@ def sweep_antagonist_cores(
     workers: Workers = None,
     timeout: Optional[float] = None,
     cache: Optional[ResultCache] = None,
+    events: Optional[Callable[[dict], None]] = None,
+    failures: str = "raise",
 ) -> ResultTable:
     """Figure 6: throughput/memory bandwidth/drops vs STREAM cores."""
     spec = _sweep_spec(
@@ -178,4 +192,5 @@ def sweep_antagonist_cores(
          SweepAxis("host.antagonist_cores", tuple(antagonists))])
     return spec.run(base=base or baseline_config(), progress=progress,
                     snapshots_out=snapshots_out, workers=workers,
-                    timeout=timeout, cache=cache)
+                    timeout=timeout, cache=cache, events=events,
+                    failures=failures)

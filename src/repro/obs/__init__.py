@@ -19,23 +19,56 @@ Public surface:
 - :class:`~repro.obs.profiler.SimProfiler` — samples the event loop
   (events/sec per component, wall-time per callback class, heap depth,
   sim-time/wall-time ratio).
+- the live telemetry plane — :class:`~repro.obs.telemetry.TelemetryBus`
+  + :class:`~repro.obs.telemetry.MetricsSampler` poll the registry on a
+  sim-time cadence into a subscriber bus (the future Controller's read
+  API); :class:`~repro.obs.sketch.QuantileSketch` /
+  :class:`~repro.obs.telemetry.RunAggregate` are the mergeable,
+  constant-memory summaries the fleet-scale aggregation folds; and
+  :class:`~repro.obs.live.LiveDashboard` renders the event stream as a
+  redraw-in-place terminal frame.
 """
 
+from repro.obs.live import LiveDashboard
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.perfetto import to_perfetto, to_trace_events, write_trace
+from repro.obs.perfetto import (
+    to_counter_events,
+    to_perfetto,
+    to_trace_events,
+    write_trace,
+)
 from repro.obs.profiler import SimProfiler
+from repro.obs.sketch import CategoryTally, QuantileSketch
+from repro.obs.telemetry import (
+    MetricsSampler,
+    RunAggregate,
+    Subscription,
+    TelemetryBus,
+    TelemetrySample,
+    classify_root_cause,
+)
 
 __all__ = [
+    "CategoryTally",
     "Counter",
     "Gauge",
     "Histogram",
+    "LiveDashboard",
     "MetricsRegistry",
+    "MetricsSampler",
+    "QuantileSketch",
+    "RunAggregate",
     "SimProfiler",
+    "Subscription",
+    "TelemetryBus",
+    "TelemetrySample",
+    "classify_root_cause",
+    "to_counter_events",
     "to_perfetto",
     "to_trace_events",
     "write_trace",

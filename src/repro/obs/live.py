@@ -1,0 +1,148 @@
+"""Curses-free live dashboard over the run-lifecycle event stream.
+
+``repro sweep --live`` (and ``repro top`` replaying a ledger) render a
+small redraw-in-place frame: overall progress and ETA, which worker
+process is on which run right now, and live quantile sketches of wall
+time, throughput, and drop rate — the fleet operator's view the paper's
+monitoring pipeline provides, shrunk to one terminal.
+
+No curses: the frame is repainted with two ANSI controls (cursor-up
+``ESC[nF`` and erase-line ``ESC[K``), falling back to a single final
+frame on non-TTY streams so CI logs are not flooded.  All statistics
+come from folding events through
+:class:`~repro.obs.telemetry.RunAggregate`, so the live view and the
+post-hoc ``repro runs show`` agree by construction.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Optional, TextIO, Tuple
+
+from repro.obs.telemetry import RunAggregate
+
+__all__ = ["LiveDashboard", "format_eta", "progress_bar"]
+
+
+def progress_bar(done: int, total: int, width: int = 24) -> str:
+    if total <= 0:
+        return "[" + "?" * width + "]"
+    filled = min(width, int(width * done / total))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def format_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "ETA --"
+    if seconds >= 3600:
+        return f"ETA {seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"ETA {int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"ETA {seconds:.0f}s"
+
+
+class LiveDashboard:
+    """Fold lifecycle events; repaint a terminal frame in place."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 min_redraw_s: float = 0.1, alpha: float = 0.01):
+        self.stream = stream if stream is not None else sys.stdout
+        self.min_redraw_s = min_redraw_s
+        self.aggregate = RunAggregate(alpha=alpha)
+        #: pid → (run index, started wall ts) for in-flight runs.
+        self.running: Dict[int, Tuple[int, float]] = {}
+        self._finished_indexes: set = set()
+        self._last_lines = 0
+        self._last_redraw = 0.0
+        self._closed = False
+        try:
+            self.interactive = bool(self.stream.isatty())
+        except Exception:
+            self.interactive = False
+
+    # -- event intake -------------------------------------------------------
+
+    def update(self, event: Dict) -> None:
+        """Fold one event and repaint (rate-limited, TTY only)."""
+        self.aggregate.fold(event)
+        kind = event.get("ev")
+        if kind == "started":
+            pid = event.get("pid")
+            index = event.get("index")
+            # Queue delivery is best-effort ordered: a `started` row can
+            # arrive after its run already finished — drop it then.
+            if pid is not None and index not in self._finished_indexes:
+                self.running[pid] = (index, event.get("ts") or time.time())
+        elif kind in ("finished", "failed"):
+            index = event.get("index")
+            self._finished_indexes.add(index)
+            for pid, (running_index, _) in list(self.running.items()):
+                if running_index == index:
+                    del self.running[pid]
+        elif kind == "end":
+            self.close()
+            return
+        if self.interactive:
+            now = time.monotonic()
+            if now - self._last_redraw >= self.min_redraw_s:
+                self.refresh()
+
+    __call__ = update
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self) -> str:
+        aggregate = self.aggregate
+        total = aggregate.total or aggregate.done
+        bar = progress_bar(aggregate.done, total)
+        header = (f"{aggregate.label or aggregate.run_id or 'run'}  "
+                  f"{aggregate.done}/{total} done  {bar}  "
+                  f"{format_eta(aggregate.eta_s())}")
+        lines = [header]
+        if self.running:
+            now = time.time()
+            parts = []
+            for pid in sorted(self.running):
+                index, since = self.running[pid]
+                parts.append(f"pid {pid} → #{index} "
+                             f"({max(0.0, now - since):.1f}s)")
+            lines.append("  workers: " + "   ".join(parts))
+        # Body: counts + sketches, identical to `repro runs show`.
+        lines.extend(aggregate.format_lines()[1:])
+        return "\n".join(lines)
+
+    def refresh(self) -> None:
+        if self._closed:
+            return
+        frame = self.render()
+        lines = frame.count("\n") + 1
+        out = self.stream
+        if self.interactive and self._last_lines:
+            out.write(f"\x1b[{self._last_lines}F")
+        if self.interactive:
+            out.write("\n".join(line + "\x1b[K"
+                                for line in frame.split("\n")) + "\n")
+        else:
+            out.write(frame + "\n")
+        out.flush()
+        self._last_lines = lines
+        self._last_redraw = time.monotonic()
+
+    def close(self) -> None:
+        """Paint the final frame exactly once (TTY or not)."""
+        if self._closed:
+            return
+        # The driver closes the dashboard when the run completes; if
+        # every planned run is accounted for, the final frame should
+        # not claim "[in progress]" just because no `end` ledger row
+        # flowed through this sink.
+        if self.aggregate.total and \
+                self.aggregate.done >= self.aggregate.total:
+            self.aggregate.ended = True
+        if self.interactive:
+            self.refresh()
+        else:
+            self.stream.write(self.render() + "\n")
+            self.stream.flush()
+        self._closed = True

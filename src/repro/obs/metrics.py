@@ -269,6 +269,22 @@ class MetricsRegistry:
                            for name, h in wanted(self._histograms.items())},
         }
 
+    def live_values(self, prefix: str = ""):
+        """Yield ``(full_name, kind, value)`` for counters and gauges.
+
+        The *sampling* read path: unlike :meth:`snapshot` it does not
+        flush deferred samples and never touches histogram reservoirs,
+        so a mid-run poll cannot perturb the measurement — results stay
+        bit-identical with or without a sampler attached.  Iteration is
+        in sorted name order for deterministic sample streams.
+        """
+        for name in sorted(self._counters):
+            if name.startswith(prefix):
+                yield name, "counter", self._counters[name].value
+        for name in sorted(self._gauges):
+            if name.startswith(prefix):
+                yield name, "gauge", self._gauges[name].value
+
     def to_json(self, indent: int = 1) -> str:
         return json.dumps(self.snapshot(), indent=indent)
 

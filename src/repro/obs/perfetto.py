@@ -28,7 +28,8 @@ from typing import Dict, Iterable, List, Union
 
 from repro.sim.tracing import TraceRecord, Tracer
 
-__all__ = ["to_trace_events", "to_perfetto", "write_trace"]
+__all__ = ["to_counter_events", "to_perfetto", "to_trace_events",
+           "write_trace"]
 
 _PID = 1
 
@@ -118,18 +119,43 @@ def to_trace_events(
     return metadata + events
 
 
-def to_perfetto(source: Union[Tracer, Iterable[TraceRecord]]) -> Dict:
-    """The full trace-event JSON document for a tracer or record list."""
+def to_counter_events(samples: Iterable, pid: int = _PID) -> List[Dict]:
+    """Telemetry samples → Chrome counter-track (``"C"``) events.
+
+    ``samples`` is any iterable of objects with ``time``/``name``/
+    ``value`` attributes (e.g.
+    :class:`~repro.obs.telemetry.TelemetrySample`).  Each distinct
+    metric name becomes one counter track, so gauge and counter
+    evolution renders as step plots alongside the span tracks.
+    """
+    return [{
+        "name": sample.name, "ph": "C", "pid": pid,
+        "ts": sample.time * _US,
+        "args": {"value": sample.value},
+    } for sample in samples]
+
+
+def to_perfetto(source: Union[Tracer, Iterable[TraceRecord]],
+                counter_samples: Iterable = ()) -> Dict:
+    """The full trace-event JSON document for a tracer or record list.
+
+    ``counter_samples`` optionally adds counter tracks (see
+    :func:`to_counter_events`) to the same document.
+    """
     records = source.records if isinstance(source, Tracer) else source
+    events = to_trace_events(records)
+    events.extend(to_counter_events(counter_samples))
     return {
-        "traceEvents": to_trace_events(records),
+        "traceEvents": events,
         "displayTimeUnit": "ns",
     }
 
 
 def write_trace(path: Union[str, Path],
-                source: Union[Tracer, Iterable[TraceRecord]]) -> Path:
+                source: Union[Tracer, Iterable[TraceRecord]],
+                counter_samples: Iterable = ()) -> Path:
     """Serialize ``source`` as Perfetto-loadable JSON at ``path``."""
     path = Path(path)
-    path.write_text(json.dumps(to_perfetto(source)))
+    path.write_text(json.dumps(to_perfetto(
+        source, counter_samples=counter_samples)))
     return path

@@ -1,0 +1,294 @@
+"""Mergeable, deterministic summaries for fleet-scale aggregation.
+
+Watching a fleet means folding millions of per-run summaries into one —
+which only works if the summary is *mergeable*: constant-size, and with
+a ``merge()`` that is associative and order-independent, so it does not
+matter which worker saw which run or in what order the parent folded
+them.
+
+:class:`QuantileSketch` is a DDSketch-style log-bucketed quantile
+sketch (Masson et al., VLDB '19).  Values land in geometric buckets
+``gamma**i`` with ``gamma = (1 + alpha) / (1 - alpha)``, so every
+bucket midpoint is within relative error ``alpha`` of anything stored
+in it.  We choose this shape over KLL or t-digest deliberately: their
+merges are compaction- or centroid-order-dependent, while merging two
+log-bucketed sketches is plain bucket-count addition — *exactly*
+associative, commutative, and deterministic, which is what the
+fleet-aggregation protocol (ROADMAP item 2) needs.
+
+Accuracy contract: ``quantile(p)`` returns a value within relative
+error ``alpha`` of some sample whose rank differs from the target rank
+``p/100 * (count - 1)`` by less than one.  The default ``alpha`` of 1%
+keeps p50/p99/p999 estimates within 1% of the true order statistic —
+tested against a sorted-list oracle in ``tests/test_sketch.py``.
+
+The bucket table is bounded by ``max_bins``; the default (4096) covers
+any value span of ~1e35 at 1% error, so real metric streams never hit
+the collapse path.  If an adversarial stream does, the lowest buckets
+are folded together (biasing only the extreme low quantiles) and
+``collapsed`` is set.  Collapse is a deterministic function of the
+bucket multiset, so equal-content sketches stay equal — but collapse at
+*different* intermediate groupings can differ, which is why the cap is
+set far above any realistic occupancy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["CategoryTally", "QuantileSketch"]
+
+#: Magnitudes below this collapse into the exact-zero bucket.
+_MIN_TRACKED = 1e-12
+
+
+class QuantileSketch:
+    """Fixed-size quantile sketch with an exactly-associative merge."""
+
+    __slots__ = ("alpha", "max_bins", "_gamma", "_log_gamma", "count",
+                 "total", "minimum", "maximum", "zero_count", "_bins",
+                 "_neg_bins", "collapsed")
+
+    def __init__(self, alpha: float = 0.01, max_bins: int = 4096):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        self.alpha = alpha
+        self.max_bins = max_bins
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.zero_count = 0
+        self._bins: Dict[int, int] = {}       # key i: (gamma^(i-1), gamma^i]
+        self._neg_bins: Dict[int, int] = {}   # mirrored for negatives
+        self.collapsed = False
+
+    # -- ingest -------------------------------------------------------------
+
+    def _key(self, magnitude: float) -> int:
+        return math.ceil(math.log(magnitude) / self._log_gamma)
+
+    def observe(self, value: float, n: int = 1) -> None:
+        """Fold ``n`` occurrences of ``value`` into the sketch."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"cannot observe non-finite value {value!r}")
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.count += n
+        self.total += value * n
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if abs(value) < _MIN_TRACKED:
+            self.zero_count += n
+        elif value > 0:
+            key = self._key(value)
+            self._bins[key] = self._bins.get(key, 0) + n
+        else:
+            key = self._key(-value)
+            self._neg_bins[key] = self._neg_bins.get(key, 0) + n
+        self._maybe_collapse()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def _maybe_collapse(self) -> None:
+        # Fold the lowest-magnitude buckets together until under the
+        # cap.  Deterministic in the bucket multiset; biases only the
+        # extreme low quantiles of an already-pathological stream.
+        for bins in (self._bins, self._neg_bins):
+            while len(bins) > self.max_bins:
+                keys = sorted(bins)
+                low, second = keys[0], keys[1]
+                bins[second] += bins.pop(low)
+                self.collapsed = True
+
+    # -- merge protocol -----------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into ``self`` (bucket-count addition).
+
+        Requires identical ``(alpha, max_bins)`` — merging sketches with
+        different resolutions would silently degrade the error bound.
+        Returns ``self`` so folds chain.
+        """
+        if (other.alpha, other.max_bins) != (self.alpha, self.max_bins):
+            raise ValueError(
+                "cannot merge sketches with different parameters: "
+                f"({self.alpha}, {self.max_bins}) vs "
+                f"({other.alpha}, {other.max_bins})")
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self.zero_count += other.zero_count
+        for key, occupancy in other._bins.items():
+            self._bins[key] = self._bins.get(key, 0) + occupancy
+        for key, occupancy in other._neg_bins.items():
+            self._neg_bins[key] = self._neg_bins.get(key, 0) + occupancy
+        self.collapsed = self.collapsed or other.collapsed
+        self._maybe_collapse()
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    def _midpoint(self, key: int) -> float:
+        # Harmonic midpoint of (gamma^(k-1), gamma^k]: within alpha
+        # relative error of every value in the bucket.
+        return 2.0 * self._gamma ** key / (self._gamma + 1.0)
+
+    def quantile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (``p`` in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            raise ValueError("quantile() of an empty sketch")
+        if p == 0.0:
+            return self.minimum
+        if p == 100.0:
+            return self.maximum
+        target = p / 100.0 * (self.count - 1)
+        cumulative = 0
+        # Walk value order: negatives (descending key = ascending
+        # value), zeros, positives (ascending key).
+        for key in sorted(self._neg_bins, reverse=True):
+            cumulative += self._neg_bins[key]
+            if cumulative > target:
+                return max(-self._midpoint(key), self.minimum)
+        cumulative += self.zero_count
+        if cumulative > target:
+            return 0.0
+        for key in sorted(self._bins):
+            cumulative += self._bins[key]
+            if cumulative > target:
+                return min(self._midpoint(key), self.maximum)
+        return self.maximum
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics, mirroring ``Histogram.summary()``."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.quantile(50),
+            "p90": self.quantile(90),
+            "p99": self.quantile(99),
+        }
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe state; exact round-trip via :meth:`from_dict`."""
+        return {
+            "alpha": self.alpha,
+            "max_bins": self.max_bins,
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.minimum,
+            "max": None if self.count == 0 else self.maximum,
+            "zero": self.zero_count,
+            "bins": {str(key): occ for key, occ in sorted(
+                self._bins.items())},
+            "neg_bins": {str(key): occ for key, occ in sorted(
+                self._neg_bins.items())},
+            "collapsed": self.collapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict) -> "QuantileSketch":
+        sketch = cls(alpha=state["alpha"], max_bins=state["max_bins"])
+        sketch.count = int(state["count"])
+        sketch.total = float(state["total"])
+        if state["min"] is not None:
+            sketch.minimum = float(state["min"])
+        if state["max"] is not None:
+            sketch.maximum = float(state["max"])
+        sketch.zero_count = int(state["zero"])
+        sketch._bins = {int(k): int(v) for k, v in state["bins"].items()}
+        sketch._neg_bins = {int(k): int(v)
+                            for k, v in state["neg_bins"].items()}
+        sketch.collapsed = bool(state["collapsed"])
+        return sketch
+
+    def __eq__(self, other) -> bool:
+        """Exact equality of the quantile-bearing state (bucket
+        counts, extremes, parameters).  ``total`` is a float
+        accumulator, so its last ulp depends on merge order; it is
+        compared to relative 1e-9 so equality stays order-independent.
+        """
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        mine, theirs = self.to_dict(), other.to_dict()
+        total_a = mine.pop("total")
+        total_b = theirs.pop("total")
+        return mine == theirs and math.isclose(
+            total_a, total_b, rel_tol=1e-9, abs_tol=1e-12)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"QuantileSketch(count={self.count}, "
+                f"bins={len(self._bins) + len(self._neg_bins)}, "
+                f"alpha={self.alpha})")
+
+
+class CategoryTally:
+    """Mergeable label → count map (the per-root-cause counters)."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None):
+        self._counts: Dict[str, int] = dict(counts or {})
+
+    def add(self, label: str, n: int = 1) -> None:
+        self._counts[label] = self._counts.get(label, 0) + n
+
+    def merge(self, other: "CategoryTally") -> "CategoryTally":
+        for label, n in other._counts.items():
+            self.add(label, n)
+        return self
+
+    def get(self, label: str) -> int:
+        return self._counts.get(label, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def most_common(self) -> List[Tuple[str, int]]:
+        """(label, count) sorted by count desc, label asc (stable)."""
+        return sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(sorted(self._counts.items()))
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, int]) -> "CategoryTally":
+        return cls({str(k): int(v) for k, v in state.items()})
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CategoryTally):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"CategoryTally({self.to_dict()!r})"

@@ -137,19 +137,22 @@ class FleetSampler:
 
     def run(self, n_hosts: int,
             progress: Optional[callable] = None,
-            workers: int | str | None = None) -> List[FleetSample]:
+            workers: int | str | None = None,
+            events: Optional[callable] = None) -> List[FleetSample]:
         """Simulate ``n_hosts`` and return their scatter points.
 
         ``workers`` fans the per-host simulations out to worker
         processes.  The configs are drawn serially from the sampler's
         RNG *before* any run starts, so the population — and therefore
         every sample — is identical whatever the worker count.
+        ``events`` streams lifecycle telemetry, as in
+        :func:`repro.core.parallel.run_many`.
         """
         from repro.core.parallel import run_many
 
         configs = [self.draw_config(index) for index in range(n_hosts)]
         outcomes = run_many(
-            configs, workers=workers,
+            configs, workers=workers, events=events,
             progress=(None if progress is None
                       else lambda index, _result: progress(index + 1,
                                                            n_hosts)))

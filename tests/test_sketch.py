@@ -1,0 +1,235 @@
+"""Property tests for the mergeable quantile sketch.
+
+The sketch is the fleet-scale aggregation primitive, so the tests pin
+the two things that make it one: the *accuracy contract* (quantiles
+within relative error ``alpha`` of a neighbouring order statistic,
+checked against a sorted-list oracle) and the *merge algebra*
+(associative, commutative, order-independent — exact equality of the
+full bucket state, not approximate).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.sketch import CategoryTally, QuantileSketch
+
+ALPHA = 0.01
+
+
+def oracle_bounds(values, p):
+    """The order statistics bracketing the target rank for ``p``."""
+    ordered = sorted(values)
+    target = p / 100 * (len(ordered) - 1)
+    return ordered[math.floor(target)], ordered[math.ceil(target)]
+
+
+def assert_quantile_within_bound(sketch, values, p, alpha=ALPHA):
+    """`quantile(p)` must be within relative error ``alpha`` of an
+    order statistic at most one rank from the target — the documented
+    accuracy contract of the DDSketch bucket layout."""
+    estimate = sketch.quantile(p)
+    low, high = oracle_bounds(values, p)
+    tolerance = alpha + 1e-9
+    ok = (abs(estimate - low) <= tolerance * abs(low)
+          or abs(estimate - high) <= tolerance * abs(high))
+    assert ok, (f"p{p}: estimate {estimate} not within {alpha:%} of "
+                f"rank-neighbours [{low}, {high}]")
+
+
+def make_stream(name, n, seed=0):
+    rng = random.Random(seed)
+    if name == "uniform":
+        return [rng.uniform(0.1, 100.0) for _ in range(n)]
+    if name == "lognormal":
+        return [rng.lognormvariate(0.0, 2.0) for _ in range(n)]
+    if name == "heavy_tail":
+        return [rng.paretovariate(1.2) for _ in range(n)]
+    if name == "mixed_sign":
+        return [rng.gauss(0.0, 50.0) for _ in range(n)]
+    if name == "with_zeros":
+        return [rng.choice((0.0, 0.0, rng.uniform(0, 10)))
+                for _ in range(n)]
+    raise ValueError(name)
+
+
+STREAMS = ("uniform", "lognormal", "heavy_tail", "mixed_sign",
+           "with_zeros")
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("stream", STREAMS)
+    @pytest.mark.parametrize("p", (50, 90, 99, 99.9))
+    def test_rank_error_bound(self, stream, p):
+        values = make_stream(stream, 5000, seed=7)
+        sketch = QuantileSketch(alpha=ALPHA)
+        sketch.extend(values)
+        assert_quantile_within_bound(sketch, values, p)
+
+    def test_exact_moments(self):
+        values = make_stream("lognormal", 1000, seed=3)
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        assert sketch.count == len(values)
+        assert sketch.total == pytest.approx(sum(values), rel=1e-12)
+        assert sketch.minimum == min(values)
+        assert sketch.maximum == max(values)
+        assert sketch.quantile(0) == min(values)
+        assert sketch.quantile(100) == max(values)
+
+    def test_zero_and_negative_buckets(self):
+        sketch = QuantileSketch()
+        sketch.extend([-5.0, -1.0, 0.0, 0.0, 1.0, 5.0])
+        assert sketch.zero_count == 2
+        assert sketch.quantile(50) == 0.0
+        assert sketch.quantile(0) == -5.0
+        assert_quantile_within_bound(
+            sketch, [-5.0, -1.0, 0.0, 0.0, 1.0, 5.0], 99)
+
+    def test_empty_and_bad_inputs(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError):
+            sketch.quantile(50)
+        with pytest.raises(ValueError):
+            sketch.observe(float("nan"))
+        with pytest.raises(ValueError):
+            sketch.observe(float("inf"))
+        with pytest.raises(ValueError):
+            sketch.quantile(101)
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=1.5)
+
+    def test_summary_shape(self):
+        sketch = QuantileSketch()
+        sketch.extend(make_stream("uniform", 100))
+        summary = sketch.summary()
+        assert set(summary) == {"count", "mean", "min", "max",
+                                "p50", "p90", "p99"}
+        assert summary["min"] <= summary["p50"] <= summary["p99"] \
+            <= summary["max"]
+
+
+class TestMergeAlgebra:
+    """merge() must be exactly associative and order-independent —
+    verified on the full serialized state, not on query outputs."""
+
+    def chunks(self, seed, n_chunks=5, chunk=400):
+        return [make_stream("lognormal", chunk, seed=seed * 100 + i)
+                for i in range(n_chunks)]
+
+    def folded(self, groups):
+        sketches = []
+        for group in groups:
+            sketch = QuantileSketch(alpha=ALPHA)
+            sketch.extend(group)
+            sketches.append(sketch)
+        out = sketches[0]
+        for other in sketches[1:]:
+            out.merge(other)
+        return out
+
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    def test_associative(self, seed):
+        a, b, c = self.chunks(seed, n_chunks=3)
+        left = self.folded([a, b]).merge(self.folded([c]))
+        right = self.folded([a]).merge(self.folded([b, c]))
+        assert left == right
+        # Bucket counts — hence every quantile answer — are exactly
+        # identical; only the float `total` varies in its last ulp.
+        left_state, right_state = left.to_dict(), right.to_dict()
+        left_state.pop("total")
+        right_state.pop("total")
+        assert left_state == right_state
+        for p in (50, 99, 99.9):
+            assert left.quantile(p) == right.quantile(p)
+
+    @pytest.mark.parametrize("seed", (1, 2, 3, 4))
+    def test_commutative_and_order_independent(self, seed):
+        groups = self.chunks(seed)
+        reference = self.folded(groups)
+        rng = random.Random(seed)
+        for _ in range(4):
+            shuffled = groups[:]
+            rng.shuffle(shuffled)
+            assert self.folded(shuffled) == reference
+
+    def test_merge_equals_single_stream(self):
+        groups = self.chunks(9)
+        merged = self.folded(groups)
+        single = QuantileSketch(alpha=ALPHA)
+        for group in groups:
+            single.extend(group)
+        assert merged == single
+
+    def test_merge_rejects_mismatched_parameters(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+        with pytest.raises(ValueError):
+            QuantileSketch(max_bins=64).merge(QuantileSketch(max_bins=65))
+
+    def test_merge_preserves_accuracy(self):
+        groups = self.chunks(11)
+        merged = self.folded(groups)
+        everything = [v for group in groups for v in group]
+        for p in (50, 99, 99.9):
+            assert_quantile_within_bound(merged, everything, p)
+
+
+class TestDeterminismAndSerialization:
+    def test_identical_streams_identical_state(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        values = make_stream("heavy_tail", 2000, seed=5)
+        a.extend(values)
+        b.extend(values)
+        assert a == b
+
+    def test_round_trip(self):
+        sketch = QuantileSketch()
+        sketch.extend(make_stream("mixed_sign", 500, seed=2))
+        restored = QuantileSketch.from_dict(sketch.to_dict())
+        assert restored == sketch
+        assert restored.quantile(99) == sketch.quantile(99)
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        sketch = QuantileSketch()
+        sketch.extend(make_stream("with_zeros", 300, seed=4))
+        restored = QuantileSketch.from_dict(
+            json.loads(json.dumps(sketch.to_dict())))
+        assert restored == sketch
+
+
+class TestCollapse:
+    def test_collapse_keeps_count_and_tail_accuracy(self):
+        # A span of ~1e12 at alpha=1% needs ~1400 buckets; cap at 64
+        # to force the collapse path.
+        sketch = QuantileSketch(alpha=ALPHA, max_bins=64)
+        values = [10.0 ** (i % 12) * (1 + (i % 7) / 10)
+                  for i in range(2000)]
+        sketch.extend(values)
+        assert sketch.collapsed
+        assert sketch.count == len(values)
+        assert len(sketch._bins) <= 64
+        # Collapse folds *low* buckets: high quantiles stay accurate.
+        assert_quantile_within_bound(sketch, values, 99)
+        # Quantiles stay monotone even through the collapsed region.
+        qs = [sketch.quantile(p) for p in (1, 10, 25, 50, 75, 90, 99)]
+        assert qs == sorted(qs)
+
+
+class TestCategoryTally:
+    def test_add_merge_and_order(self):
+        a = CategoryTally()
+        a.add("iommu", 3)
+        a.add("memory-bus")
+        b = CategoryTally({"memory-bus": 4, "cpu-or-none": 2})
+        a.merge(b)
+        assert a.get("memory-bus") == 5
+        assert a.total == 10
+        assert a.most_common()[0] == ("memory-bus", 5)
+
+    def test_round_trip_and_equality(self):
+        tally = CategoryTally({"iommu": 2, "memory-bus": 1})
+        assert CategoryTally.from_dict(tally.to_dict()) == tally
