@@ -34,9 +34,10 @@ BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.jso
 #: Only hot-path benchmarks are gated: figure-shape benches (fig1,
 #: fig4..) assert their own criteria and are minutes-long, so they stay
 #: out of the gate's runtime budget.  The telemetry benches guard the
-#: "free when off, cheap when on" contract of the sampler and ledger.
+#: "free when off, cheap when on" contract of the sampler and ledger;
+#: the fluid bench guards the >=25x fluid-vs-packet speedup contract.
 GATED_PREFIXES = ("bench_engine_micro", "bench_fig3_iommu",
-                  "bench_telemetry_overhead")
+                  "bench_fluid_speedup", "bench_telemetry_overhead")
 
 
 def load_medians(path: Path) -> Dict[str, float]:

@@ -276,6 +276,7 @@ def figure_from_scenario(
     workers: int | str | None = None,
     cache: ResultCache | None = None,
     base: Optional[ExperimentConfig] = None,
+    fidelity: Optional[str] = None,
     events=None,
     failures: str = "raise",
 ) -> FigureData:
@@ -283,23 +284,26 @@ def figure_from_scenario(
 
     Sweep scenarios yield line-plot panels (with model / max-goodput
     overlays where the spec asks for them); fleet scenarios yield the
-    utilization-vs-drops scatter with summary notes.  ``events`` and
+    utilization-vs-drops scatter with summary notes.  ``fidelity``
+    overrides the spec's engine choice (``--fidelity``); ``events`` and
     ``failures`` pass through to the runner (live telemetry / keep
     failed rows), as in :func:`repro.core.parallel.run_many`.
     """
     _check_quality(spec, quality)
     if spec.driver == "fleet":
-        samples = spec.run(quality=quality, base=base, workers=workers,
+        samples = spec.run(quality=quality, base=base,
+                           fidelity=fidelity, workers=workers,
                            events=events)
         return _fleet_figure(spec, samples)
     if spec.driver != "sweep":
         raise ValueError(
             f"scenario {spec.name!r} (driver {spec.driver!r}) does "
             f"not render as a figure")
-    table = spec.run(quality=quality, base=base, workers=workers,
-                     cache=cache, events=events, failures=failures)
+    table = spec.run(quality=quality, base=base, fidelity=fidelity,
+                     workers=workers, cache=cache, events=events,
+                     failures=failures)
     return _sweep_figure(spec, table,
-                         spec.base_config(quality, base))
+                         spec.base_config(quality, base, fidelity))
 
 
 # ---------------------------------------------------------------------------
@@ -308,7 +312,8 @@ def figure_from_scenario(
 
 def figure1(n_hosts: int = 60, seed: int = 7,
             quality: str = "quick",
-            workers: int | str | None = None) -> FigureData:
+            workers: int | str | None = None,
+            fidelity: Optional[str] = None) -> FigureData:
     """Fig. 1: host drop rate vs access-link utilization over a fleet.
 
     Returns the scatter plus summary notes: the Spearman correlation
@@ -319,55 +324,60 @@ def figure1(n_hosts: int = 60, seed: int = 7,
     spec = dataclasses.replace(
         spec, driver_args={**spec.driver_args,
                            "n_hosts": n_hosts, "seed": seed})
-    return figure_from_scenario(spec, quality=quality, workers=workers)
+    return figure_from_scenario(spec, quality=quality, workers=workers,
+                                fidelity=fidelity)
 
 
 def figure3(quality: str = "quick",
             cores: Sequence[int] | None = None,
             workers: int | str | None = None,
-            cache: ResultCache | None = None) -> FigureData:
+            cache: ResultCache | None = None,
+            fidelity: Optional[str] = None) -> FigureData:
     """Fig. 3: throughput / drop % / IOTLB misses vs receiver cores,
     IOMMU ON vs OFF, plus the Little's-law model line."""
     spec = load_bundled("figure3")
     if cores:
         spec = _override_axis(spec, "host.cpu.cores", tuple(cores))
     return figure_from_scenario(spec, quality=quality, workers=workers,
-                                cache=cache)
+                                cache=cache, fidelity=fidelity)
 
 
 def figure4(quality: str = "quick",
             cores: Sequence[int] | None = None,
             workers: int | str | None = None,
-            cache: ResultCache | None = None) -> FigureData:
+            cache: ResultCache | None = None,
+            fidelity: Optional[str] = None) -> FigureData:
     """Fig. 4: hugepages enabled vs disabled (IOMMU always on)."""
     spec = load_bundled("figure4")
     if cores:
         spec = _override_axis(spec, "host.cpu.cores", tuple(cores))
     return figure_from_scenario(spec, quality=quality, workers=workers,
-                                cache=cache)
+                                cache=cache, fidelity=fidelity)
 
 
 def figure5(quality: str = "quick",
             region_mb: Sequence[int] = (4, 8, 12, 16),
             workers: int | str | None = None,
-            cache: ResultCache | None = None) -> FigureData:
+            cache: ResultCache | None = None,
+            fidelity: Optional[str] = None) -> FigureData:
     """Fig. 5: provisioning for larger BDPs worsens IOMMU contention."""
     spec = load_bundled("figure5")
     if region_mb:
         spec = _override_axis(spec, "host.rx_region_bytes",
                               tuple(region_mb))
     return figure_from_scenario(spec, quality=quality, workers=workers,
-                                cache=cache)
+                                cache=cache, fidelity=fidelity)
 
 
 def figure6(quality: str = "quick",
             antagonists: Sequence[int] | None = None,
             workers: int | str | None = None,
-            cache: ResultCache | None = None) -> FigureData:
+            cache: ResultCache | None = None,
+            fidelity: Optional[str] = None) -> FigureData:
     """Fig. 6: throughput and memory bandwidth vs STREAM cores."""
     spec = load_bundled("figure6")
     if antagonists:
         spec = _override_axis(spec, "host.antagonist_cores",
                               tuple(antagonists))
     return figure_from_scenario(spec, quality=quality, workers=workers,
-                                cache=cache)
+                                cache=cache, fidelity=fidelity)

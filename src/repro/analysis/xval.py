@@ -1,0 +1,315 @@
+"""Cross-fidelity agreement checks: fluid vs packet.
+
+The fluid engine earns its keep only while it reproduces the packet
+kernel's *shapes and crossover points* — the paper's claims are about
+knees (the cores value where IOMMU drops start), winners (which
+isolation case hurts victims), and trends, not per-packet mechanics.
+This module declares those contracts and checks them:
+
+- **Per-point throughput** — app throughput agrees within
+  :data:`THROUGHPUT_RTOL` relative error at every axis point.  This is
+  the headline metric of every figure; 20% covers the worst observed
+  divergence (13.6% at the figure-3 14-core point) with margin.
+- **Drop onset** — the first axis point whose drop rate crosses
+  :data:`DROP_ONSET_THRESHOLD` lands within
+  :data:`ONSET_POSITION_TOLERANCE` grid positions at both fidelities
+  (no-drops matches no-drops).  Onset *position* is the knee the paper
+  cares about; drop *values* past the knee are deliberately not
+  compared — the deterministic fluid sawtooth and the stochastic
+  packet engine disagree up to ~3x there while agreeing exactly on
+  where dropping starts.
+- **Isolation winner** — the case ranking by victim p99 (uncongested
+  beats congested) matches, and both engines agree the congested
+  victim pays a tail penalty.
+- **Fleet / day shapes** — drop rate correlates positively with link
+  utilization in both populations, and each day bin's throughput
+  agrees within the throughput tolerance *or* the cumulative
+  delivered work through that bin agrees within
+  :data:`DAY_CUMULATIVE_RTOL`.  The cumulative escape hatch exists
+  because both engines carry sender-side demand backlog across bins
+  (a reliable open-loop workload retransmits and queues), but they
+  drain it on different schedules — packet flows sit out RTOs after a
+  heavy-drop bin and then burst, while the deterministic fluid drains
+  immediately — so a drain can land one bin apart while total
+  delivered bytes agree within a few percent.
+
+Each check either passes or yields a :class:`Disagreement` naming the
+scenario, the check, and the axis point — the row format the
+``fluid-xval`` CI job prints on failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import FailedRun, ResultTable
+
+__all__ = [
+    "DAY_CUMULATIVE_RTOL",
+    "DROP_ONSET_THRESHOLD",
+    "ONSET_POSITION_TOLERANCE",
+    "THROUGHPUT_RTOL",
+    "AgreementReport",
+    "Disagreement",
+    "compare_day",
+    "compare_fleet",
+    "compare_isolation",
+    "compare_sweep",
+    "drop_onset",
+]
+
+#: Relative tolerance on per-point app throughput (see module docstring).
+THROUGHPUT_RTOL = 0.20
+#: A point "drops" once its drop rate crosses this (2% — well above
+#: stochastic noise, well below post-knee saturation).
+DROP_ONSET_THRESHOLD = 0.02
+#: Onset may land this many grid positions apart and still agree (the
+#: knee sits between two grid points; the engines may round opposite
+#: ways).
+ONSET_POSITION_TOLERANCE = 1
+#: Absolute floor (Gbps) under which throughput differences are noise.
+_THROUGHPUT_ATOL_GBPS = 1.0
+#: A day bin whose per-bin throughput misses :data:`THROUGHPUT_RTOL`
+#: still agrees when cumulative delivered work through that bin is
+#: this close — backlog-drain timing skew, not a capacity error (see
+#: module docstring).
+DAY_CUMULATIVE_RTOL = 0.05
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One failed check: the row the CI failure table prints."""
+
+    scenario: str
+    check: str
+    point: str
+    detail: str
+
+    def format_row(self) -> str:
+        return (f"{self.scenario:<20} {self.check:<18} "
+                f"{self.point:<28} {self.detail}")
+
+
+@dataclass
+class AgreementReport:
+    """Outcome of cross-validating one scenario."""
+
+    scenario: str
+    checks: int = 0
+    disagreements: List[Disagreement] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def check(self, passed: bool, check: str, point: str,
+              detail: str) -> None:
+        self.checks += 1
+        if not passed:
+            self.disagreements.append(Disagreement(
+                scenario=self.scenario, check=check, point=point,
+                detail=detail))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "checks": self.checks,
+            "disagreements": [
+                {"check": d.check, "point": d.point, "detail": d.detail}
+                for d in self.disagreements
+            ],
+        }
+
+
+def drop_onset(drop_rates: Sequence[float],
+               threshold: float = DROP_ONSET_THRESHOLD,
+               ) -> Optional[int]:
+    """Index of the first point at or past the drop threshold."""
+    for index, rate in enumerate(drop_rates):
+        if rate >= threshold:
+            return index
+    return None
+
+
+def _throughput_agrees(packet: float, fluid: float,
+                       rtol: float) -> bool:
+    if abs(fluid - packet) <= _THROUGHPUT_ATOL_GBPS:
+        return True
+    return abs(fluid - packet) <= rtol * max(abs(packet), 1e-9)
+
+
+def _series_groups(table: ResultTable,
+                   x_key: str) -> List[Tuple[Tuple, List]]:
+    """Rows grouped into series (all params but ``x_key``), preserving
+    expansion order within and across groups."""
+    groups: Dict[Tuple, List] = {}
+    for result in table:
+        key = tuple(sorted(
+            (k, repr(v)) for k, v in result.params.items()
+            if k != x_key))
+        groups.setdefault(key, []).append(result)
+    return list(groups.items())
+
+
+def compare_sweep(
+    scenario: str,
+    packet: ResultTable,
+    fluid: ResultTable,
+    x_key: str,
+    *,
+    rtol: float = THROUGHPUT_RTOL,
+    threshold: float = DROP_ONSET_THRESHOLD,
+) -> AgreementReport:
+    """Cross-validate two result tables from the same sweep spec."""
+    report = AgreementReport(scenario=scenario)
+    report.check(len(packet) == len(fluid), "row-count", "-",
+                 f"packet has {len(packet)} rows, fluid {len(fluid)}")
+    if len(packet) != len(fluid):
+        return report
+    for p_row, f_row in zip(packet, fluid):
+        point = f"{x_key}={p_row.params.get(x_key)}"
+        if p_row.params != f_row.params:
+            report.check(False, "row-order", point,
+                         f"params diverge: {p_row.params} vs "
+                         f"{f_row.params}")
+            return report
+        if isinstance(p_row, FailedRun) or isinstance(f_row, FailedRun):
+            report.check(False, "failed-run", point,
+                         "a fidelity produced a FAILED row")
+            continue
+        p_app = p_row.metrics["app_throughput_gbps"]
+        f_app = f_row.metrics["app_throughput_gbps"]
+        report.check(
+            _throughput_agrees(p_app, f_app, rtol),
+            "throughput", _point_label(p_row.params, x_key),
+            f"packet {p_app:.1f} Gbps vs fluid {f_app:.1f} Gbps "
+            f"(rtol {rtol})")
+    for key, p_rows in _series_groups(packet, x_key):
+        f_rows = dict(_series_groups(fluid, x_key))[key]
+        p_onset = drop_onset(
+            [r.metrics["drop_rate"] for r in p_rows], threshold)
+        f_onset = drop_onset(
+            [r.metrics["drop_rate"] for r in f_rows], threshold)
+        series = ", ".join(f"{k}={v}" for k, v in key
+                           if k not in ("seed", "warmup_ms"))
+        xs = [r.params.get(x_key) for r in p_rows]
+
+        def _describe(onset):
+            return ("none" if onset is None
+                    else f"{x_key}={xs[onset]} (index {onset})")
+
+        if p_onset is None or f_onset is None:
+            agree = p_onset == f_onset
+        else:
+            agree = abs(p_onset - f_onset) <= ONSET_POSITION_TOLERANCE
+        report.check(agree, "drop-onset", series or "-",
+                     f"packet onset {_describe(p_onset)} vs fluid "
+                     f"{_describe(f_onset)} "
+                     f"(threshold {threshold:g}, "
+                     f"tolerance ±{ONSET_POSITION_TOLERANCE})")
+    return report
+
+
+def _point_label(params: Dict[str, Any], x_key: str) -> str:
+    extras = [f"{k}={params[k]}" for k in ("iommu", "hugepages")
+              if k in params]
+    return f"{x_key}={params.get(x_key)}" + (
+        f" ({', '.join(extras)})" if extras else "")
+
+
+def compare_isolation(scenario: str, packet: Dict[str, Any],
+                      fluid: Dict[str, Any]) -> AgreementReport:
+    """Cross-validate the isolation study's case ranking."""
+    report = AgreementReport(scenario=scenario)
+    report.check(set(packet) == set(fluid), "cases", "-",
+                 f"case sets differ: {sorted(packet)} vs "
+                 f"{sorted(fluid)}")
+    if set(packet) != set(fluid):
+        return report
+
+    def winner(results):
+        return min(results, key=lambda name: results[name].victim.p99)
+
+    p_winner, f_winner = winner(packet), winner(fluid)
+    report.check(p_winner == f_winner, "isolation-winner", "victim p99",
+                 f"packet winner {p_winner!r} vs fluid {f_winner!r}")
+    if "uncongested" in packet and "congested" in packet:
+        p_penalty = packet["congested"].victim_penalty_p99(
+            packet["uncongested"])
+        f_penalty = fluid["congested"].victim_penalty_p99(
+            fluid["uncongested"])
+        report.check(
+            p_penalty > 1.0 and f_penalty > 1.0, "victim-penalty",
+            "congested vs uncongested",
+            f"penalty must exceed 1 at both fidelities "
+            f"(packet {p_penalty:.2f}x, fluid {f_penalty:.2f}x)")
+    return report
+
+
+def _spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    from repro.analysis.figures import spearman
+
+    return spearman(xs, ys)
+
+
+def compare_fleet(scenario: str, packet: Sequence,
+                  fluid: Sequence) -> AgreementReport:
+    """Cross-validate fleet populations (Fig. 1's two observations)."""
+    report = AgreementReport(scenario=scenario)
+    report.check(len(packet) == len(fluid), "population", "-",
+                 f"{len(packet)} packet hosts vs {len(fluid)} fluid")
+    if not packet or len(packet) != len(fluid):
+        return report
+    p_corr = _spearman([s.link_utilization for s in packet],
+                       [s.drop_rate for s in packet])
+    f_corr = _spearman([s.link_utilization for s in fluid],
+                       [s.drop_rate for s in fluid])
+    report.check(p_corr > 0 and f_corr > 0, "drop-correlation", "-",
+                 f"drop rate must correlate positively with "
+                 f"utilization at both fidelities "
+                 f"(packet {p_corr:.2f}, fluid {f_corr:.2f})")
+
+    def drop_fraction(samples):
+        return sum(1 for s in samples if s.drop_rate > 1e-4) \
+            / len(samples)
+
+    p_frac, f_frac = drop_fraction(packet), drop_fraction(fluid)
+    report.check(abs(p_frac - f_frac) <= 0.25, "dropper-fraction", "-",
+                 f"fraction of dropping hosts: packet {p_frac:.2f} vs "
+                 f"fluid {f_frac:.2f} (tolerance 0.25)")
+    return report
+
+
+def compare_day(scenario: str, packet: Sequence, fluid: Sequence,
+                *, rtol: float = THROUGHPUT_RTOL) -> AgreementReport:
+    """Cross-validate per-bin day traces.
+
+    A bin passes on per-bin throughput agreement, or — when a
+    backlog drain lands on different sides of the bin boundary at the
+    two fidelities — on cumulative delivered work through that bin
+    (see :data:`DAY_CUMULATIVE_RTOL`).
+    """
+    report = AgreementReport(scenario=scenario)
+    report.check(len(packet) == len(fluid), "bin-count", "-",
+                 f"{len(packet)} packet bins vs {len(fluid)} fluid")
+    if len(packet) != len(fluid):
+        return report
+    p_cum = f_cum = 0.0
+    for p_bin, f_bin in zip(packet, fluid):
+        p_cum += p_bin.app_throughput_gbps
+        f_cum += f_bin.app_throughput_gbps
+        point = (f"bin={p_bin.index} (load={p_bin.offered_load:.2f}, "
+                 f"antagonists={p_bin.antagonist_cores})")
+        per_bin = _throughput_agrees(p_bin.app_throughput_gbps,
+                                     f_bin.app_throughput_gbps, rtol)
+        cumulative = (abs(f_cum - p_cum)
+                      <= DAY_CUMULATIVE_RTOL * max(p_cum, 1e-9))
+        report.check(
+            per_bin or cumulative, "throughput", point,
+            f"packet {p_bin.app_throughput_gbps:.1f} Gbps vs fluid "
+            f"{f_bin.app_throughput_gbps:.1f} Gbps (rtol {rtol}); "
+            f"cumulative {p_cum:.0f} vs {f_cum:.0f} Gbps-bins "
+            f"(rtol {DAY_CUMULATIVE_RTOL})")
+    return report

@@ -168,6 +168,12 @@ def _transport_choices() -> tuple:
     return tuple(available())
 
 
+def _fidelity_choices() -> tuple:
+    from repro.core.config import FIDELITIES
+
+    return FIDELITIES
+
+
 def _host_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=12,
                         help="receiver threads/cores (default 12)")
@@ -206,6 +212,7 @@ def _config_from_args(args: argparse.Namespace,
         workload=WorkloadConfig(senders=args.senders,
                                 receivers=getattr(args, "receivers", 1)),
         transport=args.transport,
+        fidelity=getattr(args, "fidelity", "packet"),
         sim=SimConfig(warmup=args.warmup_ms * 1e-3,
                       duration=args.duration_ms * 1e-3,
                       seed=args.seed,
@@ -245,8 +252,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     handles: list = []
     result = run_experiment(config, handle_out=handles)
     _print_result(result)
-    topology = handles[0].topology
-    if topology.n_receivers > 1:
+    # The fluid handle has no packet topology; its hosts are symmetric
+    # by construction, so there is no per-host detail to print.
+    topology = getattr(handles[0], "topology", None)
+    if topology is not None and topology.n_receivers > 1:
         print("\nper-host:")
         for i, host in enumerate(topology.hosts):
             snap = host.snapshot()
@@ -284,6 +293,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         warmup=args.warmup_ms * 1e-3,
         duration=args.duration_ms * 1e-3,
         seed=args.seed,
+        fidelity=args.fidelity,
     )
     snapshots: Optional[list] = [] if args.metrics_out else None
     cache = _cache_from_args(args)
@@ -340,8 +350,12 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         if args.scenario_command == "list":
             specs = _scenario_specs(args)
             width = max(len(name) for name in specs)
+            tags = {name: f"{spec.driver}/{spec.fidelity}"
+                    for name, spec in specs.items()}
+            tag_width = max(len(tag) for tag in tags.values())
             for name, spec in sorted(specs.items()):
-                print(f"{name:<{width}}  [{spec.driver}]  {spec.title}")
+                print(f"{name:<{width}}  [{tags[name]:<{tag_width}}]  "
+                      f"{spec.title}")
             return 0
 
         if args.scenario_command == "validate":
@@ -387,7 +401,9 @@ def _run_scenario(spec, args: argparse.Namespace) -> int:
     from repro.analysis.figures import figure_from_scenario
 
     render = spec.render
+    fidelity = getattr(args, "fidelity", None)
     print(f"scenario {spec.name} ({spec.source}): driver {spec.driver}"
+          + f", fidelity {fidelity or spec.fidelity}"
           + (f", quality {args.quality}" if args.quality else ""))
     telemetry = _Telemetry(args, label=f"scenario-{spec.name}")
     failures = "keep" if args.keep_failed else "raise"
@@ -399,6 +415,7 @@ def _run_scenario(spec, args: argparse.Namespace) -> int:
         try:
             fig = figure_from_scenario(spec, quality=args.quality,
                                        workers=args.workers, cache=cache,
+                                       fidelity=fidelity,
                                        events=telemetry.sink,
                                        failures=failures)
         except BaseException:
@@ -422,7 +439,7 @@ def _run_scenario(spec, args: argparse.Namespace) -> int:
         try:
             table = spec.run(quality=args.quality, workers=args.workers,
                              timeout=args.timeout_s, cache=cache,
-                             snapshots_out=snapshots,
+                             snapshots_out=snapshots, fidelity=fidelity,
                              events=telemetry.sink, failures=failures)
         except BaseException:
             telemetry.finish(ok=False)
@@ -444,7 +461,7 @@ def _run_scenario(spec, args: argparse.Namespace) -> int:
     telemetry.finish()
 
     if spec.driver == "day":
-        bins = spec.run(quality=args.quality)
+        bins = spec.run(quality=args.quality, fidelity=fidelity)
         header = (f"{'bin':>4} {'load':>5} {'antag':>6} "
                   f"{'link util':>10} {'drop %':>7} {'tput Gbps':>10}")
         print(header)
@@ -458,7 +475,7 @@ def _run_scenario(spec, args: argparse.Namespace) -> int:
         return 0
 
     # isolation
-    results = spec.run(quality=args.quality)
+    results = spec.run(quality=args.quality, fidelity=fidelity)
     header = (f"{'case':>14} {'drop %':>7} {'victim p50':>11} "
               f"{'victim p99':>11} {'elephant p99':>13} {'tput':>6}")
     print(header)
@@ -702,6 +719,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one experiment")
     _host_args(p_run)
+    p_run.add_argument("--fidelity", default="packet",
+                       choices=_fidelity_choices(),
+                       help="simulation engine: packet-level kernel or "
+                            "rate-based fluid solver (default packet)")
     p_run.add_argument("--metrics-out",
                        help="write the full metrics snapshot as JSON")
     p_run.set_defaults(func=cmd_run)
@@ -716,6 +737,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=1)
     p_sweep.add_argument("--warmup-ms", type=float, default=5.0)
     p_sweep.add_argument("--duration-ms", type=float, default=10.0)
+    p_sweep.add_argument("--fidelity", default="packet",
+                         choices=_fidelity_choices(),
+                         help="simulation engine for every point "
+                              "(default packet)")
     p_sweep.add_argument("--timeout-s", type=float, default=None,
                          help="per-run wall-clock budget; over-budget "
                               "runs become FAILED rows, not aborts")
@@ -750,6 +775,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen_run.add_argument("--quality", default=None,
                             help="quality preset (default: the spec's "
                                  "default_quality)")
+    p_scen_run.add_argument("--fidelity", default=None,
+                            choices=_fidelity_choices(),
+                            help="override the spec's engine choice "
+                                 "(default: the spec's fidelity)")
     p_scen_run.add_argument("--csv",
                             help="write the result table to CSV")
     p_scen_run.add_argument("--out",

@@ -13,6 +13,7 @@ from typing import Any, Dict, Optional
 from repro.core import calibration as cal
 
 __all__ = [
+    "FIDELITIES",
     "CpuConfig",
     "DdioConfig",
     "ExperimentConfig",
@@ -31,6 +32,12 @@ __all__ = [
 def _require(cond: bool, message: str) -> None:
     if not cond:
         raise ValueError(message)
+
+
+#: Simulation fidelities an experiment may select: the packet-level
+#: discrete-event kernel, or the RTT-stepped fluid solver
+#: (:mod:`repro.sim.fluid`) cross-validated against it.
+FIDELITIES = ("packet", "fluid")
 
 
 @dataclass(frozen=True)
@@ -384,6 +391,10 @@ class ExperimentConfig:
     #: Any name in the transport registry ("swift", "dctcp", "cubic",
     #: "hostcc", "timely", plus anything registered from outside).
     transport: str = "swift"
+    #: Simulation engine: ``"packet"`` (the discrete-event kernel) or
+    #: ``"fluid"`` (the rate-based solver).  Part of the result-cache
+    #: digest, so the two fidelities never share cached results.
+    fidelity: str = "packet"
     sim: SimConfig = field(default_factory=SimConfig)
 
     def __post_init__(self) -> None:
@@ -396,6 +407,9 @@ class ExperimentConfig:
         _require(self.transport in names,
                  f"unknown transport {self.transport!r}; "
                  f"expected one of {names}")
+        _require(self.fidelity in FIDELITIES,
+                 f"unknown fidelity {self.fidelity!r}; "
+                 f"expected one of {FIDELITIES}")
 
     def describe(self) -> Dict[str, Any]:
         """Flat summary of the knobs that vary across paper figures."""

@@ -145,8 +145,19 @@ def run_experiment(
     ``handle_out``, if given, receives the :class:`ExperimentHandle`
     (for tests that want to inspect internal component state after the
     run).
+
+    ``config.fidelity`` selects the engine: the packet-level kernel
+    (default) or the rate-based fluid solver — same lifecycle, same
+    result schema, so callers never branch on fidelity themselves.
     """
-    handle = ExperimentHandle(config)
+    if config.fidelity == "fluid":
+        # Local import: the fluid runner is optional machinery this
+        # module should not pay for (or circularly depend on) up front.
+        from repro.core.fluid import FluidExperiment
+
+        handle = FluidExperiment(config)
+    else:
+        handle = ExperimentHandle(config)
     if handle_out is not None:
         handle_out.append(handle)
     handle.run_warmup()

@@ -1,0 +1,184 @@
+"""Fluid-fidelity experiment runner.
+
+:class:`FluidExperiment` is the rate-based twin of
+:class:`~repro.core.experiment.ExperimentHandle`: same construction
+signature, same ``run_warmup`` / ``run_measurement`` / ``collect``
+lifecycle, same metric names in :meth:`collect` and
+:meth:`metrics_snapshot` — so the sweep runner, result cache, CSV
+writers, ledger, and every figure binding work unchanged at either
+fidelity.  ``run_experiment`` dispatches here when
+``config.fidelity == "fluid"``.
+
+The topologies this repo studies are symmetric incasts (every receiver
+host serves an identical sender population), so one
+:class:`~repro.sim.fluid.FluidSolver` models one host and multi-host
+aggregation follows :meth:`repro.core.topology.Topology.snapshot`
+analytically: sums for throughputs and bandwidths, traffic-weighted
+ratios for rates, means for utilizations and latencies, max for peak
+buffer occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.config import ExperimentConfig
+from repro.core.results import ExperimentResult
+from repro.sim.fluid import (FluidSolver, message_latency_summary,
+                             weighted_percentile)
+
+__all__ = ["FluidExperiment"]
+
+
+class _FluidClock:
+    """The ``handle.sim`` surface the sweep runner reads: simulated
+    time and a work counter (solver steps stand in for events)."""
+
+    def __init__(self, solver: FluidSolver):
+        self._solver = solver
+
+    @property
+    def now(self) -> float:
+        return self._solver.now
+
+    @property
+    def events_dispatched(self) -> int:
+        return self._solver.steps
+
+
+def _weighted_summary(pairs: List[Tuple[float, float]],
+                      scale: float = 1.0) -> Dict[str, float]:
+    """A histogram-style summary dict (count/mean/p50/p90/p99/min/max)
+    of a weighted sample, matching ``Histogram.summary()``."""
+    if not pairs:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                "p99": 0.0, "min": 0.0, "max": 0.0}
+    total = sum(w for _, w in pairs)
+    mean = (sum(v * w for v, w in pairs) / total) if total > 0 else 0.0
+    return {
+        "count": int(round(total)),
+        "mean": mean * scale,
+        "p50": weighted_percentile(pairs, 0.50) * scale,
+        "p90": weighted_percentile(pairs, 0.90) * scale,
+        "p99": weighted_percentile(pairs, 0.99) * scale,
+        "min": min(v for v, _ in pairs) * scale,
+        "max": max(v for v, _ in pairs) * scale,
+    }
+
+
+class FluidExperiment:
+    """A built-but-not-finished fluid experiment (handle-compatible)."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.n_receivers = config.workload.receivers
+        self.solver = FluidSolver(config)
+        self.sim = _FluidClock(self.solver)
+        self._measuring = False
+
+    def run_warmup(self) -> None:
+        self.solver.run_until(self.config.sim.warmup)
+        self.solver.reset_stats()
+        self._measuring = True
+
+    def run_measurement(self) -> None:
+        if not self._measuring:
+            self.run_warmup()
+        self.solver.run_until(self.config.sim.end_time)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _aggregate_snapshot(self) -> Dict[str, float]:
+        """The topology-level headline dict: one symmetric host scaled
+        to ``n_receivers`` per ``Topology.snapshot`` aggregation."""
+        snap = self.solver.snapshot()
+        m = self.n_receivers
+        if m == 1:
+            return snap
+        summed = ("app_throughput_gbps", "wire_arrival_gbps",
+                  "memory_total_GBps", "iommu_entries",
+                  "remote_memory_GBps")
+        return {key: (value * m if key in summed else value)
+                for key, value in snap.items()}
+
+    def collect(self) -> ExperimentResult:
+        run = self.solver.run
+        m = self.n_receivers
+        metrics = self._aggregate_snapshot()
+        messages = sum(w for _, w in run.latency_pairs)
+        metrics.update(
+            {
+                "packets_sent":
+                    (run.rx_packets + run.retransmissions) * m,
+                "retransmissions": run.retransmissions * m,
+                "timeouts": run.timeouts * m,
+                "mean_cwnd": self.solver.mean_cwnd(),
+                "fabric_drops": 0.0,
+                "messages_completed": messages * m,
+                "link_utilization":
+                    metrics["wire_arrival_gbps"] * 1e9
+                    / (self.config.link.rate_bps * m),
+            }
+        )
+        scaled = [(v * 1e6, w) for v, w in run.latency_pairs]
+        return ExperimentResult(
+            params=self.config.describe(),
+            metrics=metrics,
+            message_latency_us=message_latency_summary(scaled),
+        )
+
+    def metrics_snapshot(self) -> Dict[str, Dict]:
+        """Registry-shaped snapshot (counters/gauges/histograms/meta)
+        with the packet engine's metric names, so ``--metrics-out``
+        payloads and ledger rows keep one schema across fidelities."""
+        solver = self.solver
+        run = solver.run
+        snap = solver.snapshot()
+        counters = {
+            "nic.rx_packets": run.rx_packets,
+            "nic.dropped_packets": run.dropped_packets,
+            "nic.dma_completed_packets": run.dma_packets,
+            "iommu.iotlb_misses":
+                solver.misses_per_packet * run.dma_packets,
+            "transport.retransmissions": run.retransmissions,
+            "transport.timeouts": run.timeouts,
+        }
+        gauges = {
+            "nic.drop_rate": snap["drop_rate"],
+            "host.iotlb_misses_per_packet":
+                snap["iotlb_misses_per_packet"],
+            "host.app_throughput_gbps": snap["app_throughput_gbps"],
+            "memory.bandwidth_GBps": snap["memory_total_GBps"],
+            "memory.utilization": snap["memory_utilization"],
+            "transport.mean_cwnd": self.solver.mean_cwnd(),
+        }
+        histograms = {
+            "nic.host_delay_us": _weighted_summary(run.delay_pairs,
+                                                   scale=1e6),
+        }
+        if self.n_receivers == 1:
+            payload = {"counters": counters, "gauges": gauges,
+                       "histograms": histograms}
+        else:
+            # Symmetric hosts: every host's subtree carries the same
+            # per-host values, prefixed as the packet topology does.
+            payload = {
+                "counters": {f"host{i}/{k}": v
+                             for i in range(self.n_receivers)
+                             for k, v in counters.items()},
+                "gauges": {f"host{i}/{k}": v
+                           for i in range(self.n_receivers)
+                           for k, v in gauges.items()},
+                "histograms": {f"host{i}/{k}": dict(v)
+                               for i in range(self.n_receivers)
+                               for k, v in histograms.items()},
+            }
+        payload["meta"] = {
+            "params": self.config.describe(),
+            "sim_time_s": self.sim.now,
+            "events_dispatched": self.sim.events_dispatched,
+            "trace_records": 0,
+            "trace_dropped": 0,
+            "fidelity": "fluid",
+        }
+        return payload

@@ -56,7 +56,7 @@ from typing import (
 )
 
 from repro.core.cache import ResultCache
-from repro.core.config import ExperimentConfig
+from repro.core.config import FIDELITIES, ExperimentConfig
 from repro.core.parallel import Workers, run_many
 from repro.core.results import ExperimentResult, ResultTable
 
@@ -317,6 +317,11 @@ class ScenarioSpec:
     title: str = ""
     description: str = ""
     driver: str = "sweep"
+    #: Engine the spec runs on: "packet" (event-level kernel) or
+    #: "fluid" (rate-based solver).  Applied to the base config before
+    #: overrides, so a dotted-path ``fidelity`` override (or an
+    #: explicit ``fidelity=`` at run time) still wins.
+    fidelity: str = "packet"
     #: Dotted-path overrides applied to the base config first.
     base: Mapping[str, Any] = field(default_factory=dict)
     axes: Tuple[SweepAxis, ...] = ()
@@ -385,7 +390,8 @@ class ScenarioSpec:
                 f"{source}: missing [scenario] table (with at least "
                 f"'name')")
         _check_keys(meta, {"name", "title", "description", "driver",
-                           "expansion", "repeats", "default_quality"},
+                           "fidelity", "expansion", "repeats",
+                           "default_quality"},
                     source, "[scenario] ")
         name = meta.get("name")
         if not isinstance(name, str) or not name:
@@ -393,6 +399,8 @@ class ScenarioSpec:
                 f"{source}: [scenario] 'name' must be a non-empty "
                 f"string")
         driver = _str_choice(meta, "driver", DRIVERS, "sweep", source)
+        fidelity = _str_choice(meta, "fidelity", FIDELITIES, "packet",
+                               source)
         expansion = _str_choice(meta, "expansion", ("product", "zip"),
                                 "product", source)
         repeats = meta.get("repeats", 1)
@@ -426,7 +434,8 @@ class ScenarioSpec:
         return cls(name=name,
                    title=str(meta.get("title", "")),
                    description=str(meta.get("description", "")),
-                   driver=driver, base=base, axes=axes,
+                   driver=driver, fidelity=fidelity, base=base,
+                   axes=axes,
                    expansion=expansion, repeats=repeats,
                    quality=quality, default_quality=default_quality,
                    driver_args=driver_args, render=render,
@@ -450,10 +459,20 @@ class ScenarioSpec:
         self,
         quality: Optional[str] = None,
         base: Optional[ExperimentConfig] = None,
+        fidelity: Optional[str] = None,
     ) -> ExperimentConfig:
         """The config every expanded point starts from: ``base`` (or
-        the defaults) + base overrides + the quality preset's."""
+        the defaults) + the spec's fidelity (or the ``fidelity``
+        argument — the CLI's ``--fidelity``) + base overrides + the
+        quality preset's."""
         config = base if base is not None else ExperimentConfig()
+        chosen = fidelity if fidelity is not None else self.fidelity
+        if chosen not in FIDELITIES:
+            raise ScenarioError(
+                f"{self.source}: 'fidelity' must be one of "
+                f"{FIDELITIES}, got {chosen!r}")
+        if config.fidelity != chosen:
+            config = dataclasses.replace(config, fidelity=chosen)
         config = apply_overrides(config, self.base, source=self.source,
                                  context="[base] ")
         preset = self._preset(quality)
@@ -478,6 +497,7 @@ class ScenarioSpec:
         self,
         quality: Optional[str] = None,
         base: Optional[ExperimentConfig] = None,
+        fidelity: Optional[str] = None,
     ) -> List[ExperimentConfig]:
         """Every concrete :class:`ExperimentConfig` this spec names.
 
@@ -490,7 +510,7 @@ class ScenarioSpec:
                 f"{self.source}: scenario {self.name!r} uses driver "
                 f"{self.driver!r}; only sweep scenarios expand to "
                 f"config lists")
-        config = self.base_config(quality, base)
+        config = self.base_config(quality, base, fidelity)
         grids = self.axis_grid(quality)
         if self.expansion == "zip":
             lengths = {axis.path: len(grid)
@@ -539,6 +559,7 @@ class ScenarioSpec:
                                     None]] = None,
         snapshots_out: Optional[list] = None,
         *,
+        fidelity: Optional[str] = None,
         workers: Workers = None,
         timeout: Optional[float] = None,
         cache: Optional[ResultCache] = None,
@@ -546,6 +567,10 @@ class ScenarioSpec:
         failures: str = "raise",
     ):
         """Run the scenario through the shared execution pipeline.
+
+        ``fidelity`` overrides the spec's engine choice at run time
+        (the CLI's ``--fidelity``); results are cached under distinct
+        keys per fidelity.
 
         Returns a :class:`ResultTable` for sweep scenarios, a list of
         :class:`~repro.workload.fleet.FleetSample` for fleet ones, a
@@ -557,38 +582,39 @@ class ScenarioSpec:
         only).
         """
         if self.driver == "sweep":
-            return run_configs(self.expand(quality, base),
+            return run_configs(self.expand(quality, base, fidelity),
                                progress=progress,
                                snapshots_out=snapshots_out,
                                workers=workers, timeout=timeout,
                                cache=cache, events=events,
                                failures=failures)
         if self.driver == "fleet":
-            return self._run_fleet(quality, base, workers=workers,
-                                   events=events)
+            return self._run_fleet(quality, base, fidelity,
+                                   workers=workers, events=events)
         if self.driver == "day":
-            return self._run_day(quality, base)
+            return self._run_day(quality, base, fidelity)
         if self.driver == "isolation":
-            return self._run_isolation(quality, base)
+            return self._run_isolation(quality, base, fidelity)
         raise ScenarioError(
             f"{self.source}: unknown driver {self.driver!r}")
 
-    def _run_fleet(self, quality, base, *, workers: Workers = None,
-                   events=None):
+    def _run_fleet(self, quality, base, fidelity=None, *,
+                   workers: Workers = None, events=None):
         from repro.workload.fleet import FleetSampler
 
-        config = self.base_config(quality, base)
+        config = self.base_config(quality, base, fidelity)
         sampler = FleetSampler(
             seed=int(self.driver_args.get("seed", 7)),
             warmup=config.sim.warmup,
-            duration=config.sim.duration)
+            duration=config.sim.duration,
+            fidelity=config.fidelity)
         n_hosts = int(self.driver_args.get("n_hosts", 30))
         return sampler.run(n_hosts, workers=workers, events=events)
 
-    def _run_day(self, quality, base):
+    def _run_day(self, quality, base, fidelity=None):
         from repro.workload.day import diurnal_schedule, simulate_day
 
-        config = self.base_config(quality, base)
+        config = self.base_config(quality, base, fidelity)
         args = self.driver_args
         schedule = diurnal_schedule(
             int(args.get("n_bins", 24)),
@@ -601,10 +627,10 @@ class ScenarioSpec:
             bin_duration=float(args.get("bin_duration", 5e-3)),
             warmup_per_bin=float(args.get("warmup_per_bin", 1e-3)))
 
-    def _run_isolation(self, quality, base):
+    def _run_isolation(self, quality, base, fidelity=None):
         from repro.workload.isolation import congested_vs_uncongested
 
-        config = self.base_config(quality, base)
+        config = self.base_config(quality, base, fidelity)
         return congested_vs_uncongested(config)
 
 

@@ -41,6 +41,7 @@ def baseline_config(
     warmup: float = 6e-3,
     duration: float = 12e-3,
     seed: int = 1,
+    fidelity: str = "packet",
     **host_overrides,
 ) -> ExperimentConfig:
     """The paper's §3 baseline: 40 senders, 12 receiver cores, IOMMU on,
@@ -48,6 +49,7 @@ def baseline_config(
     return ExperimentConfig(
         host=HostConfig(cpu=CpuConfig(cores=12), **host_overrides),
         sim=SimConfig(warmup=warmup, duration=duration, seed=seed),
+        fidelity=fidelity,
     )
 
 

@@ -1,0 +1,571 @@
+"""Flow-level fluid engine: the repo's second simulation fidelity.
+
+Where the packet kernel dispatches one event per packet, this solver
+steps *rates* over RTT-scale intervals (Zhao et al.'s "Scalable Tail
+Latency Estimation" two-tier pattern): an aggregate congestion window
+and two queue fluid levels evolve under closed-form host bounds.  The
+host pipeline has two stages, mirroring where congestion actually sits
+in the packet engine:
+
+- **NIC stage** — the bounded NIC buffer drained over PCIe at the
+  Little's-law rate set by per-DMA latency (fixed cost, serialization,
+  memory write, IOTLB walks from the working-set miss model).  Overflow
+  here is packet drop, and the buffer bounds the delay Swift can ever
+  observe — the paper's blind spot emerges from exactly this cap.
+- **CPU stage** — receiver processing at the per-core rate (slowed by
+  memory-bus contention).  Its backlog lives in host memory, so it
+  drops nothing and its delay is fully visible to congestion control.
+
+Everything is derived from the same frozen config tree and calibration
+constants as the packet path, so a config means the same operating
+point at either fidelity; ``tests/test_fluid_xval.py`` and the
+``fluid-xval`` CI job hold the two engines to agreement on knees and
+winners.
+
+Layering: this module lives in the simulation kernel (layer 0).  It may
+import only its ``repro.sim`` neighbours and the pinned kernel modules
+(``repro.core.config`` / ``calibration`` / ``metrics``) — never host,
+transport, or workload (enforced by ``scripts/check_layering.py``).
+The handful of host-layer constants it needs (page sizes, the
+load-latency knee, the NIC's per-packet control writes) are mirrored
+here as local copies and asserted equal to their host-layer originals
+in ``tests/test_fluid_engine.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ExperimentConfig
+
+__all__ = [
+    "FluidRun",
+    "FluidSolver",
+    "fluid_working_set",
+    "message_latency_summary",
+    "predicted_misses_per_packet",
+    "registered_iommu_entries",
+    "weighted_percentile",
+]
+
+# -- host-layer constants mirrored into the kernel (see module docstring)
+#: 4 KB / 2 MB page sizes (repro.host.addressing).
+PAGE_4K = 4096
+PAGE_2M = 2 * 2**20
+#: Load-latency curve shape (repro.host.memory).
+QUEUE_KNEE = 0.55
+QUEUE_GAMMA = 3.0
+#: Descriptor/completion writes the NIC issues per packet
+#: (repro.host.nic).
+NIC_CONTROL_WRITE_BYTES = 96
+#: Hot ring pages per thread in the active working set
+#: (repro.core.model.iotlb_working_set).
+HOT_RING_PAGES = 4
+#: Non-payload page touches per packet: conn×2, rx ring×2, tx ring×3.
+CONTROL_ACCESSES_PER_PACKET = 7
+#: Fraction of the ideal Little's-law rate the DMA pipeline sustains.
+#: Credit-return gaps and bursty walk stalls keep the packet engine's
+#: achieved service a consistent ~6% short of ``C / E[T]`` across the
+#: figure-3/5 operating points; calibrated once against those runs.
+DMA_PIPELINE_EFFICIENCY = 0.94
+#: Transports whose fluid congestion response is loss-based (drop
+#: events, not delay, trigger multiplicative decrease).  DCTCP's ECN
+#: marks live at the *fabric* switch, so host congestion reaches it
+#: only through drops — same aggregate response as Cubic here.
+LOSS_BASED_TRANSPORTS = ("cubic", "dctcp")
+#: Aggregate loss-based response: classic 1 packet/RTT/flow additive
+#: increase, Cubic's 0.7 window-reduction factor on a loss round.
+LOSS_CC_AI = 1.0
+LOSS_CC_BETA = 0.7
+
+
+def _queue_delay(rho: float, max_queue_delay: float) -> float:
+    """The memory bus load-latency curve (repro.host.memory.
+    queue_delay_for): flat below the knee, convex rise to the cap."""
+    if rho <= QUEUE_KNEE:
+        return 0.0
+    x = min((rho - QUEUE_KNEE) / (1.0 - QUEUE_KNEE), 1.0)
+    return max_queue_delay * x ** QUEUE_GAMMA
+
+
+def fluid_working_set(config: ExperimentConfig) -> Tuple[int, int]:
+    """(active IOMMU pages, page accesses per packet) — the working-set
+    model of ``repro.core.model.iotlb_working_set``, recomputed here
+    from the raw config so the kernel layer stays closed."""
+    host = config.host
+    data_page = PAGE_2M if host.hugepages else PAGE_4K
+    data_pages = -(-host.rx_region_bytes // data_page)
+    per_thread = (data_pages + host.nic.conn_state_pages
+                  + host.nic.ack_staging_pages + HOT_RING_PAGES)
+    payload_pages = 1 if host.hugepages else 2
+    accesses = payload_pages + CONTROL_ACCESSES_PER_PACKET
+    return per_thread * host.cpu.cores, accesses
+
+
+def predicted_misses_per_packet(config: ExperimentConfig) -> float:
+    """IOTLB misses per received packet, via the Che approximation.
+
+    The access stream has two populations with very different reuse:
+    payload pages, drawn uniformly from the large Rx data pool, and the
+    per-thread control pages (rings, connection state) every packet
+    touches.  A single uniform ``1 - K/W`` LRU ratio ignores that skew
+    and overestimates misses severalfold; the Che characteristic-time
+    model — solve ``Σ_i N_i (1 - e^{-λ_i T}) = K`` for ``T``, then miss
+    probability per access to population ``i`` is ``e^{-λ_i T}`` —
+    tracks the packet engine's measured IOTLB across the figure-3/4/5
+    ladders.  Zero with the IOMMU off or when everything fits.
+    """
+    host = config.host
+    if not host.iommu.enabled:
+        return 0.0
+    cores = host.cpu.cores
+    data_page = PAGE_2M if host.hugepages else PAGE_4K
+    n_data = -(-host.rx_region_bytes // data_page) * cores
+    n_hot = (host.nic.conn_state_pages + host.nic.ack_staging_pages
+             + HOT_RING_PAGES) * cores
+    capacity = host.iommu.iotlb_entries
+    if n_data + n_hot <= capacity:
+        return 0.0
+    a_data = 1 if host.hugepages else 2
+    a_hot = CONTROL_ACCESSES_PER_PACKET
+    lam_data = a_data / n_data
+    lam_hot = a_hot / n_hot
+
+    def occupied(t: float) -> float:
+        return (n_data * -math.expm1(-lam_data * t)
+                + n_hot * -math.expm1(-lam_hot * t))
+
+    lo, hi = 0.0, 1.0
+    while occupied(hi) < capacity:
+        hi *= 2.0
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if occupied(mid) < capacity:
+            lo = mid
+        else:
+            hi = mid
+    t_char = (lo + hi) / 2.0
+    return (a_data * math.exp(-lam_data * t_char)
+            + a_hot * math.exp(-lam_hot * t_char))
+
+
+def registered_iommu_entries(config: ExperimentConfig) -> int:
+    """Pages registered with the IOMMU up front ("loose mode"): the
+    data region plus every control ring page, per thread — mirrors
+    ``repro.host.addressing.build_thread_layouts``."""
+    host = config.host
+    data_page = PAGE_2M if host.hugepages else PAGE_4K
+    data_pages = -(-host.rx_region_bytes // data_page)
+    nic = host.nic
+    control = (nic.desc_ring_pages + nic.completion_ring_pages
+               + nic.tx_desc_ring_pages + nic.tx_completion_ring_pages
+               + nic.ack_staging_pages + nic.conn_state_pages)
+    return (data_pages + control) * host.cpu.cores
+
+
+def weighted_percentile(pairs: List[Tuple[float, float]],
+                        fraction: float) -> float:
+    """Percentile of a weighted sample: smallest value whose cumulative
+    weight reaches ``fraction`` of the total."""
+    if not pairs:
+        return 0.0
+    ordered = sorted(pairs)
+    total = sum(weight for _, weight in ordered)
+    if total <= 0:
+        return 0.0
+    cut = fraction * total
+    running = 0.0
+    for value, weight in ordered:
+        running += weight
+        if running >= cut:
+            return value
+    return ordered[-1][0]
+
+
+def message_latency_summary(
+        pairs: List[Tuple[float, float]]) -> Dict[str, float]:
+    """p50/p90/p99/mean of a weighted latency sample — the same four
+    keys ``ExperimentResult.message_latency_us`` carries (units follow
+    the input values)."""
+    total = sum(weight for _, weight in pairs)
+    mean = (sum(value * weight for value, weight in pairs) / total
+            if total > 0 else 0.0)
+    return {
+        "p50": weighted_percentile(pairs, 0.50),
+        "p90": weighted_percentile(pairs, 0.90),
+        "p99": weighted_percentile(pairs, 0.99),
+        "mean": mean,
+    }
+
+
+@dataclass
+class FluidRun:
+    """Accumulated measurement-window outputs of one solved host."""
+
+    elapsed: float = 0.0
+    rx_packets: float = 0.0
+    dropped_packets: float = 0.0
+    dma_packets: float = 0.0
+    drained_packets: float = 0.0
+    drained_payload_bytes: float = 0.0
+    retransmissions: float = 0.0
+    timeouts: float = 0.0
+    #: Packet-weighted integrals of the per-step latencies.
+    dma_latency_weighted: float = 0.0
+    nic_delay_weighted: float = 0.0
+    #: Time integrals of bus state.
+    utilization_integral: float = 0.0
+    achieved_bw_integral: float = 0.0
+    cwnd_integral: float = 0.0
+    peak_queue_bytes: float = 0.0
+    #: (latency_seconds, weight) pairs for message-latency percentiles.
+    latency_pairs: List[Tuple[float, float]] = field(default_factory=list)
+    #: (nic_delay_seconds, packets) pairs for the host-delay summary.
+    delay_pairs: List[Tuple[float, float]] = field(default_factory=list)
+    #: Per-step ``(host_delay, rtt_eff, p_pkt, drained, per_flow_w)``
+    #: records, kept so other traffic classes sharing the host (e.g.
+    #: isolation victims issuing single-packet reads) can synthesize
+    #: their own message latencies over the same congested trace.
+    step_trace: List[Tuple[float, float, float, float, float]] = \
+        field(default_factory=list)
+
+    def drop_rate(self) -> float:
+        return (self.dropped_packets / self.rx_packets
+                if self.rx_packets > 0 else 0.0)
+
+
+class FluidSolver:
+    """One receiver host's fluid dynamics, stepped at RTT granularity.
+
+    State: ``W`` — the aggregate congestion window (packets, summed
+    over every flow into this host) — ``q_nic`` (NIC buffer level,
+    wire bytes, bounded and lossy) and ``q_cpu`` (receiver processing
+    backlog, wire bytes, unbounded and loss-free).  Each step
+    recomputes the closed-form stage capacities, integrates both
+    queues, and applies one aggregate Swift-style AIMD update against
+    the *one-RTT-delayed* total host delay; the NIC buffer caps the
+    observable delay, so the packet engine's Swift blind spot (drops
+    the CC never sees because the full buffer still drains inside the
+    target delay) emerges here too.
+
+    Multi-host topologies are symmetric (every receiver serves an
+    identical incast), so one solver models one host and the runner
+    aggregates exactly as ``repro.core.topology.Topology.snapshot``.
+    """
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        host, wl = config.host, config.workload
+        self.wire_bytes = wl.wire_bytes_per_packet
+        self.payload_bytes = wl.mtu_payload
+        self.payload_fraction = self.payload_bytes / self.wire_bytes
+        self.packets_per_read = wl.packets_per_read
+        self.n_flows = host.cpu.cores * wl.senders
+        self.base_rtt = 2 * config.link.one_way_delay
+        #: Step size: one base RTT (the CC update granularity); guarded
+        #: for degenerate zero-delay links.
+        self.dt = max(self.base_rtt, 1e-6)
+        self.misses_per_packet = predicted_misses_per_packet(config)
+        self.serialization = self.wire_bytes * 8 / host.pcie.goodput_bps
+        self.antagonist_Bps = (host.antagonist_cores
+                               * host.antagonist_per_core_Bps)
+        copy_read, copy_write = host.ddio.copy_demand_fractions()
+        self.copy_fraction = copy_read + copy_write
+        self.offered_load = wl.offered_load
+        swift = config.swift
+        # State: start one packet per flow (the transport's initial
+        # window), empty queues, and an uncongested delay estimate.
+        self.W = float(self.n_flows)
+        self.min_W = self.n_flows * swift.min_cwnd
+        self.max_W = self.n_flows * swift.max_cwnd
+        self.q_nic = 0.0
+        self.q_cpu = 0.0
+        #: Open-loop sender-side demand backlog (wire bytes): reads
+        #: arrive at the offered rate whether or not the window lets
+        #: them out, exactly like ``Connection.add_backlog`` in the
+        #: packet engine.  Demand unmet in an overloaded interval
+        #: persists and drains later at window rate.
+        self.q_demand = 0.0
+        self.now = 0.0
+        self.steps = 0
+        self._host_delay = self._t_base(0.0)
+        self._delayed_signal = self._host_delay
+        self._nic_drain_pps = 0.0
+        self._cpu_drain_pps = 0.0
+        self._last_decrease = -math.inf
+        self.loss_based = config.transport in LOSS_BASED_TRANSPORTS
+        self._delayed_loss = 0.0
+        self.run = FluidRun()
+
+    # -- per-step physics --------------------------------------------------
+
+    def _t_base(self, queue_delay: float) -> float:
+        """Per-DMA latency with zero IOTLB misses (T_base): fixed PCIe
+        overhead + serialization + one (possibly contended) memory
+        write — ``repro.core.model.dma_base_latency``."""
+        host = self.config.host
+        return (host.pcie.dma_fixed_latency + self.serialization
+                + host.memory.idle_latency + queue_delay)
+
+    def _memory_state(self) -> Tuple[float, float, float]:
+        """(utilization, queue_delay, achieved_Bps) from the current
+        drain rates: NIC DMA writes (payload + control per packet) at
+        the NIC-stage rate, CPU copy traffic at the CPU-stage rate,
+        and the STREAM antagonist, against the achievable bus
+        bandwidth — the fluid half of ``repro.host.memory``."""
+        mem = self.config.host.memory
+        nic_demand = self._nic_drain_pps * (
+            self.payload_bytes + NIC_CONTROL_WRITE_BYTES)
+        cpu_demand = (self._cpu_drain_pps * self.payload_bytes
+                      * self.copy_fraction)
+        total = nic_demand + cpu_demand + self.antagonist_Bps
+        rho = total / mem.achievable_Bps
+        return (rho, _queue_delay(rho, mem.max_queue_delay),
+                min(total, mem.achievable_Bps))
+
+    def _nic_service_bps(self, queue_delay: float) -> Tuple[float, float]:
+        """(NIC-stage capacity in wire bits/s, per-DMA latency): the
+        Little's-law PCIe bound, capped by PCIe goodput."""
+        host = self.config.host
+        walk = (host.memory.walk_base_latency
+                + host.memory.walk_contention_fraction * queue_delay)
+        t_total = self._t_base(queue_delay)
+        if host.iommu.enabled:
+            t_total += self.misses_per_packet * walk
+        littles = (host.pcie.max_inflight_bytes * 8 / t_total
+                   * DMA_PIPELINE_EFFICIENCY)
+        return min(littles, host.pcie.goodput_bps), t_total
+
+    def _cpu_service_bps(self, rho: float) -> float:
+        """CPU-stage capacity in wire bits/s: per-core processing rate
+        slowed by memory-bus contention (copies stall on a loaded
+        bus)."""
+        cpu = self.config.host.cpu
+        payload_bps = (cpu.cores * cpu.core_rate_bps
+                       * (1.0 - cpu.contention_slowdown * min(rho, 1.0)))
+        return payload_bps / self.payload_fraction
+
+    def _arrival_wire_bps(self, rtt_eff: float) -> float:
+        """Offered wire rate at the access link: the window-limited
+        closed loop.  An open-loop workload accrues Poisson reads into
+        the sender-side demand backlog and the window drains *that* —
+        so demand unmet during an overloaded interval carries over and
+        drains later (the packet engine's ``Connection.add_backlog``),
+        instead of being capped at the instantaneous offered rate.
+
+        Called once per :meth:`step`; advances ``q_demand`` by one
+        ``dt`` of arrivals and debits what this step sends.
+        """
+        link_rate = self.config.link.rate_bps
+        window_bps = self.W * self.wire_bytes * 8 / rtt_eff
+        if self.offered_load is None:
+            return min(window_bps, link_rate)
+        reads_per_s = (self.offered_load * link_rate
+                       / (self.config.workload.read_size_bytes * 8))
+        open_bps = reads_per_s * self.packets_per_read \
+            * self.wire_bytes * 8
+        self.q_demand += open_bps / 8 * self.dt
+        sent_bps = min(window_bps, self.q_demand * 8 / self.dt,
+                       link_rate)
+        self.q_demand = max(0.0, self.q_demand - sent_bps / 8 * self.dt)
+        return sent_bps
+
+    def step(self) -> None:
+        config = self.config
+        swift = config.swift
+        dt = self.dt
+        rho, queue_delay, achieved_Bps = self._memory_state()
+        nic_bps, t_total = self._nic_service_bps(queue_delay)
+        cpu_bps = self._cpu_service_bps(rho)
+        rtt_eff = self.base_rtt + self._host_delay
+        arrival_bps = self._arrival_wire_bps(rtt_eff)
+
+        # NIC stage: bounded buffer, tail drop on overflow.
+        inflow = arrival_bps / 8 * dt
+        dma_bytes = min(nic_bps / 8 * dt, self.q_nic + inflow)
+        level = self.q_nic + inflow - dma_bytes
+        buffer_bytes = config.host.nic.buffer_bytes
+        dropped_bytes = max(0.0, level - buffer_bytes)
+        self.q_nic = min(level, buffer_bytes)
+        if self.offered_load is not None:
+            # Reliable transport: lost packets are retransmitted, so
+            # their bytes return to the sender-side demand backlog
+            # rather than vanishing from the open-loop workload.
+            self.q_demand += dropped_bytes
+        nic_Bps = max(nic_bps / 8, 1.0)
+        nic_delay = t_total + self.q_nic / nic_Bps
+
+        # CPU stage: unbounded in-memory backlog, loss-free.
+        done_bytes = min(cpu_bps / 8 * dt, self.q_cpu + dma_bytes)
+        self.q_cpu = self.q_cpu + dma_bytes - done_bytes
+        cpu_Bps = max(cpu_bps / 8, 1.0)
+        host_delay = nic_delay + self.q_cpu / cpu_Bps
+
+        # Aggregate Swift AIMD against the one-RTT-delayed signal.
+        # No hold band: the aggregate sawtooth must keep probing, or a
+        # deterministic fluid settles into a frozen dead zone the
+        # per-flow packet engine never reaches.
+        signal = self._delayed_signal
+        target = swift.host_target
+        if self.loss_based:
+            # Loss-based transports (Cubic; DCTCP, whose ECN marks live
+            # at the fabric switch) only see host congestion as drops:
+            # probe at 1 pkt/RTT/flow until a loss round, then cut.
+            if self._delayed_loss <= 0.0:
+                self.W += LOSS_CC_AI * self.n_flows * dt / rtt_eff
+            elif self.now - self._last_decrease >= rtt_eff:
+                self.W *= LOSS_CC_BETA
+                self._last_decrease = self.now
+        elif signal < target:
+            self.W += (swift.additive_increase * self.n_flows
+                       * dt / rtt_eff)
+        elif self.now - self._last_decrease >= rtt_eff:
+            mdf = min(swift.max_mdf,
+                      swift.beta * (signal - target) / signal)
+            self.W *= 1.0 - mdf
+            self._last_decrease = self.now
+        self.W = min(max(self.W, self.min_W), self.max_W)
+
+        self._accumulate(dt, inflow, dropped_bytes, dma_bytes,
+                         done_bytes, t_total, nic_delay, host_delay,
+                         rho, achieved_Bps, rtt_eff)
+        self._delayed_signal = self._host_delay
+        self._host_delay = host_delay
+        self._delayed_loss = dropped_bytes
+        self._nic_drain_pps = dma_bytes / self.wire_bytes / dt
+        self._cpu_drain_pps = done_bytes / self.wire_bytes / dt
+        self.now += dt
+        self.steps += 1
+
+    def _accumulate(self, dt, inflow, dropped_bytes, dma_bytes,
+                    done_bytes, t_total, nic_delay, host_delay, rho,
+                    achieved_Bps, rtt_eff) -> None:
+        run = self.run
+        rx = inflow / self.wire_bytes
+        dropped = dropped_bytes / self.wire_bytes
+        dma = dma_bytes / self.wire_bytes
+        drained = done_bytes / self.wire_bytes
+        run.elapsed += dt
+        run.rx_packets += rx
+        run.dropped_packets += dropped
+        run.dma_packets += dma
+        run.drained_packets += drained
+        run.drained_payload_bytes += drained * self.payload_fraction \
+            * self.wire_bytes
+        run.retransmissions += dropped
+        run.dma_latency_weighted += t_total * dma
+        run.nic_delay_weighted += nic_delay * dma
+        run.utilization_integral += rho * dt
+        run.achieved_bw_integral += achieved_Bps * dt
+        run.cwnd_integral += self.W / self.n_flows * dt
+        run.peak_queue_bytes = max(run.peak_queue_bytes, self.q_nic)
+        if drained <= 0:
+            return
+        run.delay_pairs.append((nic_delay, dma))
+        p_pkt = min(dropped / rx, 1.0) if rx > 0 else 0.0
+        per_flow_w = max(self.W / self.n_flows,
+                         self.config.swift.min_cwnd)
+        record = (host_delay, rtt_eff, p_pkt, drained, per_flow_w)
+        run.step_trace.append(record)
+        pairs, timeouts = self.synthesize_message_pairs(
+            [record], self.packets_per_read)
+        run.latency_pairs.extend(pairs)
+        run.timeouts += timeouts
+
+    def synthesize_message_pairs(
+            self, records, packets_per_read: float,
+    ) -> Tuple[List[Tuple[float, float]], float]:
+        """Weighted message-latency samples for a traffic class issuing
+        ``packets_per_read``-packet reads over the given step records.
+
+        One sample per step per outcome class: a clean read finishes in
+        ``rounds`` effective RTTs; a read that lost a packet pays one
+        extra round trip (fast retransmit); a read that lost the
+        retransmit too pays the RTO.  Returns ``(pairs, timeouts)``.
+        """
+        ppr = packets_per_read
+        rto = self.config.swift.rto
+        pairs: List[Tuple[float, float]] = []
+        timeouts = 0.0
+        for host_delay, rtt_eff, p_pkt, drained, per_flow_w in records:
+            messages = drained / ppr
+            rounds = max(1.0, ppr / per_flow_w)
+            base = (self.base_rtt + host_delay
+                    + (rounds - 1.0) * rtt_eff)
+            p_msg = 1.0 - (1.0 - p_pkt) ** ppr
+            p_timeout = p_msg * p_pkt
+            timeouts += messages * p_timeout
+            pairs.append((base, messages * (1.0 - p_msg)))
+            if p_msg > 0:
+                pairs.append(
+                    (base + rtt_eff, messages * (p_msg - p_timeout)))
+            if p_timeout > 0:
+                pairs.append((base + rto, messages * p_timeout))
+        return pairs, timeouts
+
+    # -- run control -------------------------------------------------------
+
+    def run_until(self, until: float) -> None:
+        while self.now < until - 1e-12:
+            self.step()
+
+    def reset_stats(self) -> None:
+        """Warmup boundary: restart accumulators, keep CC/queue state."""
+        self.run = FluidRun()
+
+    def set_offered_load(self, load: Optional[float]) -> None:
+        """Mid-run load change (the day driver's per-bin schedule) —
+        mirrors ``RemoteReadWorkload.set_offered_load``."""
+        self.offered_load = load
+
+    def set_antagonist_cores(self, cores: int) -> None:
+        """Mid-run antagonist change — mirrors
+        ``MemoryAntagonist.set_cores``."""
+        self.antagonist_Bps = (cores
+                               * self.config.host.antagonist_per_core_Bps)
+
+    # -- reporting ---------------------------------------------------------
+
+    def mean_cwnd(self) -> float:
+        if self.run.elapsed <= 0:
+            return self.W / self.n_flows
+        return self.run.cwnd_integral / self.run.elapsed
+
+    def snapshot(self) -> Dict[str, float]:
+        """The 11-key host headline dict, same names and units as
+        ``repro.host.host.ReceiverHost.snapshot``."""
+        run = self.run
+        elapsed = run.elapsed
+        config = self.config
+        if elapsed <= 0:
+            app_gbps = wire_gbps = 0.0
+            utilization = bandwidth = 0.0
+        else:
+            app_gbps = run.drained_payload_bytes * 8 / elapsed / 1e9
+            wire_gbps = (run.rx_packets * self.wire_bytes * 8
+                         / elapsed / 1e9)
+            utilization = run.utilization_integral / elapsed
+            bandwidth = run.achieved_bw_integral / elapsed
+        dma = run.dma_packets
+        mean_dma = run.dma_latency_weighted / dma if dma > 0 else 0.0
+        mean_delay = run.nic_delay_weighted / dma if dma > 0 else 0.0
+        remote_Bps = min(
+            config.host.remote_antagonist_cores
+            * config.host.antagonist_per_core_Bps,
+            config.host.memory.achievable_Bps)
+        return {
+            "app_throughput_gbps": app_gbps,
+            "wire_arrival_gbps": wire_gbps,
+            "drop_rate": run.drop_rate(),
+            "iotlb_misses_per_packet": self.misses_per_packet,
+            "memory_utilization": utilization,
+            "memory_total_GBps": bandwidth / 1e9,
+            "mean_dma_latency_us": mean_dma * 1e6,
+            "mean_nic_delay_us": mean_delay * 1e6,
+            "nic_buffer_peak_fraction":
+                run.peak_queue_bytes / config.host.nic.buffer_bytes,
+            "iommu_entries": float(registered_iommu_entries(config)),
+            "remote_memory_GBps": remote_Bps / 1e9,
+        }

@@ -66,6 +66,38 @@ def diurnal_schedule(
     return schedule
 
 
+def _simulate_day_fluid(
+    config: ExperimentConfig,
+    schedule: Sequence[tuple],
+    bin_duration: float,
+    warmup_per_bin: float,
+) -> List[DayBin]:
+    """Fluid twin of the packet day loop: one solver carried across
+    bins (CC and queue state persist, as in the packet run), per-bin
+    load/antagonist changes applied through the solver's setters."""
+    from repro.sim.fluid import FluidSolver
+
+    solver = FluidSolver(config)
+    bins: List[DayBin] = []
+    for index, (load, antagonists) in enumerate(schedule):
+        solver.set_offered_load(load)
+        solver.set_antagonist_cores(antagonists)
+        solver.run_until(solver.now + warmup_per_bin)
+        solver.reset_stats()
+        solver.run_until(solver.now + bin_duration)
+        snap = solver.snapshot()
+        bins.append(DayBin(
+            index=index,
+            offered_load=load,
+            antagonist_cores=antagonists,
+            link_utilization=snap["wire_arrival_gbps"] * 1e9
+            / config.link.rate_bps,
+            drop_rate=snap["drop_rate"],
+            app_throughput_gbps=snap["app_throughput_gbps"],
+        ))
+    return bins
+
+
 def simulate_day(
     config: ExperimentConfig,
     schedule: Sequence[tuple],
@@ -80,6 +112,9 @@ def simulate_day(
     if config.workload.offered_load is None:
         raise ValueError("simulate_day requires an open-loop workload "
                          "(set workload.offered_load)")
+    if config.fidelity == "fluid":
+        return _simulate_day_fluid(config, schedule, bin_duration,
+                                   warmup_per_bin)
     sim = Simulator()
     workload = RemoteReadWorkload(sim, config)
     host = workload.host

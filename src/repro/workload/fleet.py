@@ -65,10 +65,15 @@ class FleetSampler:
         seed: int = 7,
         warmup: float = 4e-3,
         duration: float = 8e-3,
+        fidelity: str = "packet",
     ):
         self.rng = random.Random(seed)
         self.warmup = warmup
         self.duration = duration
+        #: Engine for every drawn host.  Stamped on the config *after*
+        #: all RNG draws, so packet and fluid fleets share a
+        #: byte-identical host population.
+        self.fidelity = fidelity
 
     #: Host classes and their fleet shares.  Stratified sampling: a
     #: production fleet is a mix of host populations, and stratifying
@@ -128,6 +133,7 @@ class FleetSampler:
             workload=WorkloadConfig(senders=senders,
                                     offered_load=offered),
             transport=transport,
+            fidelity=self.fidelity,
             sim=SimConfig(
                 warmup=self.warmup,
                 duration=self.duration,

@@ -65,10 +65,55 @@ class _IsolationWorkload(RemoteReadWorkload):
                 if conn.sender_id != _VICTIM_SENDER]
 
 
+def _weighted_summary_us(pairs) -> Summary:
+    """A :class:`Summary` (µs) from weighted latency pairs (seconds)."""
+    from repro.sim.fluid import weighted_percentile
+
+    if not pairs:
+        return summarize([])
+    total = sum(w for _, w in pairs)
+    mean = sum(v * w for v, w in pairs) / total if total > 0 else 0.0
+    return Summary(
+        count=int(round(total)),
+        mean=mean * 1e6,
+        p50=weighted_percentile(pairs, 0.50) * 1e6,
+        p90=weighted_percentile(pairs, 0.90) * 1e6,
+        p99=weighted_percentile(pairs, 0.99) * 1e6,
+        maximum=max(v for v, _ in pairs) * 1e6,
+    )
+
+
+def _run_isolation_fluid(config: ExperimentConfig) -> IsolationResult:
+    """Fluid twin of the isolation study: one solver run; victim
+    (single-MTU) and elephant (full-read) latency distributions are
+    synthesized from the same step trace with their respective
+    read sizes, so both classes see the identical congestion signal —
+    exactly the shared-NIC-buffer coupling the study measures."""
+    from repro.sim.fluid import FluidSolver
+
+    solver = FluidSolver(config)
+    solver.run_until(config.sim.warmup)
+    solver.reset_stats()
+    solver.run_until(config.sim.end_time)
+    trace = solver.run.step_trace
+    victim_pairs, _ = solver.synthesize_message_pairs(trace, 1.0)
+    elephant_pairs, _ = solver.synthesize_message_pairs(
+        trace, solver.packets_per_read)
+    snap = solver.snapshot()
+    return IsolationResult(
+        victim=_weighted_summary_us(victim_pairs),
+        elephant=_weighted_summary_us(elephant_pairs),
+        drop_rate=snap["drop_rate"],
+        app_throughput_gbps=snap["app_throughput_gbps"],
+    )
+
+
 def run_isolation_study(config: ExperimentConfig) -> IsolationResult:
     """Run one isolation experiment and split latencies by class."""
     if config.workload.senders < 2:
         raise ValueError("isolation study needs at least 2 senders")
+    if config.fidelity == "fluid":
+        return _run_isolation_fluid(config)
     sim = Simulator()
     workload = _IsolationWorkload(sim, config)
     sim.run(until=config.sim.warmup)

@@ -1,0 +1,131 @@
+"""Shrunk-grid fluid-vs-packet cross-validation.
+
+The full bundled-spec agreement matrix runs in the ``fluid-xval`` CI
+job (``scripts/check_fluid_xval.py``); these tests hold the same
+contracts — knees, winners, throughput tolerances from
+:mod:`repro.analysis.xval` — on grids small enough for tier-1.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import xval
+from repro.core.sweep import (
+    baseline_config,
+    sweep_receiver_cores,
+)
+from repro.workload.day import diurnal_schedule, simulate_day
+from repro.workload.fleet import FleetSampler
+from repro.workload.isolation import congested_vs_uncongested
+
+CORES = (2, 8, 12, 16)
+
+
+def _base(fidelity, warmup=1e-3, duration=3e-3):
+    return baseline_config(warmup=warmup, duration=duration,
+                           fidelity=fidelity)
+
+
+def _assert_agrees(report):
+    assert report.ok, "\n".join(
+        d.format_row() for d in report.disagreements)
+
+
+@pytest.fixture(scope="module")
+def sweep_tables():
+    packet = sweep_receiver_cores(cores=CORES, base=_base("packet"))
+    fluid = sweep_receiver_cores(cores=CORES, base=_base("fluid"))
+    return packet, fluid
+
+
+def test_sweep_throughput_and_knees_agree(sweep_tables):
+    packet, fluid = sweep_tables
+    report = xval.compare_sweep("shrunk_figure3", packet, fluid,
+                                "cores")
+    _assert_agrees(report)
+    # Both throughput points and per-series drop onsets were checked.
+    assert report.checks >= len(packet) + 2
+
+
+def test_sweep_agreement_is_not_vacuous(sweep_tables):
+    """The shrunk grid must actually cross the IOTLB knee at high core
+    counts (paper Fig. 3), or the onset check compares nothing."""
+    packet, _ = sweep_tables
+    iommu_drops = [r.metrics["drop_rate"] for r in packet
+                   if r.params["iommu"]]
+    assert xval.drop_onset(iommu_drops) is not None
+
+
+def test_isolation_winner_agrees():
+    packet = congested_vs_uncongested(_base("packet"))
+    fluid = congested_vs_uncongested(_base("fluid"))
+    report = xval.compare_isolation("shrunk_isolation", packet, fluid)
+    _assert_agrees(report)
+
+
+def test_day_bins_agree():
+    schedule = diurnal_schedule(6, seed=0)
+
+    def run(fidelity):
+        config = _base(fidelity)
+        config = dataclasses.replace(
+            config, workload=dataclasses.replace(
+                config.workload, offered_load=0.6))
+        return simulate_day(config, schedule, bin_duration=2e-3,
+                            warmup_per_bin=5e-4)
+
+    report = xval.compare_day("shrunk_day", run("packet"),
+                              run("fluid"))
+    _assert_agrees(report)
+
+
+def test_fleet_shapes_agree():
+    # 24 hosts: large enough that both engines sample a few droppers
+    # (12 hosts at 2 ms leaves the deterministic fluid population
+    # drop-free and degenerates the correlation check).
+    def run(fidelity):
+        sampler = FleetSampler(seed=7, warmup=1e-3, duration=3e-3,
+                               fidelity=fidelity)
+        return sampler.run(24, workers="auto")
+
+    report = xval.compare_fleet("shrunk_fleet", run("packet"),
+                                run("fluid"))
+    _assert_agrees(report)
+
+
+# -- contract unit checks (no simulation) --------------------------------
+
+
+def test_drop_onset_finds_first_crossing():
+    assert xval.drop_onset([0.0, 0.001, 0.05, 0.3]) == 2
+    assert xval.drop_onset([0.0, 0.0]) is None
+
+
+def _make_bin(index, gbps):
+    from repro.workload.day import DayBin
+
+    return DayBin(index=index, offered_load=0.5, antagonist_cores=0,
+                  link_utilization=0.5, drop_rate=0.0,
+                  app_throughput_gbps=gbps)
+
+
+def test_day_cumulative_escape_hatch():
+    """A backlog drain landing one bin apart fails per-bin rtol but
+    passes on cumulative delivered work."""
+    packet = [_make_bin(0, 40.0), _make_bin(1, 80.0)]
+    fluid = [_make_bin(0, 80.0), _make_bin(1, 40.0)]
+    report = xval.compare_day("synthetic", packet, fluid)
+    assert report.disagreements == [
+        d for d in report.disagreements if d.point.startswith("bin=0")]
+    # Bin 1 recovers via the cumulative check (120 vs 120).
+    assert all("bin=1" not in d.point for d in report.disagreements)
+
+
+def test_day_capacity_error_is_not_excused():
+    """A persistent throughput gap fails even with the cumulative
+    escape hatch: it is a capacity error, not timing skew."""
+    packet = [_make_bin(i, 80.0) for i in range(4)]
+    fluid = [_make_bin(i, 40.0) for i in range(4)]
+    report = xval.compare_day("synthetic", packet, fluid)
+    assert len(report.disagreements) == 4

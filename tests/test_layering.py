@@ -55,6 +55,38 @@ def test_timer_wheel_is_layer_zero_leaf():
         f"sim/wheel.py must stay a leaf module, imports {repro_imports}")
 
 
+def test_fluid_solver_is_pinned_to_the_kernel_layer():
+    """``repro.sim.fluid`` is the second engine fidelity and sits in
+    the simulation kernel (layer 0): the lint forbids it from
+    importing host/transport/workload — whose physics it mirrors in
+    closed form — and, stricter, its only module-level ``repro``
+    imports must be the pinned layer-0 kernel modules (config /
+    calibration / metrics) or ``repro.sim`` neighbours."""
+    sys.path.insert(0, str(REPO / "scripts"))
+    try:
+        from check_layering import KERNEL_MODULES, layer_of
+    finally:
+        sys.path.pop(0)
+    assert layer_of("repro.sim.fluid") == 0
+    path = REPO / "src" / "repro" / "sim" / "fluid.py"
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        targets = []
+        if isinstance(node, ast.Import):
+            targets = [a.name for a in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            targets = [node.module]
+        for target in targets:
+            if target.split(".")[0] != "repro":
+                continue
+            assert (target in KERNEL_MODULES
+                    or any(target.startswith(k + ".")
+                           for k in KERNEL_MODULES)
+                    or target.startswith("repro.sim")), (
+                f"sim/fluid.py may only import kernel modules, "
+                f"imports {target}")
+
+
 def test_upward_import_is_flagged(tmp_path):
     # A fake repro tree where the bottom layer imports a higher one.
     pkg = make_fake_tree(tmp_path)
