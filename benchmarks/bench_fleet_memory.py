@@ -1,0 +1,72 @@
+"""Streaming-fleet memory contract: parent RSS independent of fleet
+size.
+
+The whole point of the streaming pipeline
+(:meth:`repro.workload.fleet.FleetSampler.run_aggregate` over
+:func:`repro.core.parallel.run_stream`) is that parent memory is
+bounded by the in-flight window plus one constant-size
+:class:`~repro.workload.fleet_agg.FleetAggregate` — never by the host
+count.  This benchmark runs the same fluid fleet at 1k and 10k hosts
+and asserts the 10x population costs at most 30% more peak RSS.
+
+Each measurement runs in its *own subprocess* that reports its own
+``ru_maxrss``: peak RSS is monotonic per process, so measuring both
+fleet sizes in one interpreter would let the first run mask the
+second.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_CHILD = textwrap.dedent("""
+    import json, resource, sys
+    from repro.workload.fleet import FleetSampler
+
+    n_hosts = int(sys.argv[1])
+    sampler = FleetSampler(fidelity="fluid",
+                           warmup=5e-4, duration=1e-3)
+    aggregate = sampler.run_aggregate(n_hosts)
+    print(json.dumps({
+        "peak_rss_kb": resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss,
+        "hosts": aggregate.hosts,
+        "droppers": aggregate.droppers,
+    }))
+""")
+
+
+def fleet_peak_rss(n_hosts: int) -> dict:
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(n_hosts)],
+        env=env, capture_output=True, text=True, check=True)
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def test_fleet_rss_constant(benchmark):
+    """Peak RSS at 10k hosts must stay within 1.3x of 1k hosts.
+
+    Materialize-then-aggregate would grow parent memory ~10x here;
+    the streamed fold must not.  The recorded timing is the 1k-host
+    run (the regression-gated quantity); both RSS readings land in
+    ``extra_info`` for trend tracking.
+    """
+    small = fleet_peak_rss(1_000)
+    large = fleet_peak_rss(10_000)
+    assert small["hosts"] == 1_000 and large["hosts"] == 10_000
+    ratio = large["peak_rss_kb"] / small["peak_rss_kb"]
+    benchmark.extra_info["rss_1k_kb"] = small["peak_rss_kb"]
+    benchmark.extra_info["rss_10k_kb"] = large["peak_rss_kb"]
+    benchmark.extra_info["rss_ratio"] = round(ratio, 4)
+    assert ratio < 1.3, (
+        f"peak RSS grew {ratio:.2f}x from 1k to 10k hosts "
+        f"({small['peak_rss_kb']} kB -> {large['peak_rss_kb']} kB) — "
+        f"the streaming pipeline is accumulating per-host state")
+    benchmark.pedantic(lambda: fleet_peak_rss(1_000),
+                       rounds=1, iterations=1)

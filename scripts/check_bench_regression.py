@@ -35,9 +35,12 @@ BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.jso
 #: fig4..) assert their own criteria and are minutes-long, so they stay
 #: out of the gate's runtime budget.  The telemetry benches guard the
 #: "free when off, cheap when on" contract of the sampler and ledger;
-#: the fluid bench guards the >=25x fluid-vs-packet speedup contract.
+#: the fluid bench guards the >=25x fluid-vs-packet speedup contract;
+#: the fleet-memory bench guards the streaming pipeline's
+#: RSS-independent-of-host-count contract.
 GATED_PREFIXES = ("bench_engine_micro", "bench_fig3_iommu",
-                  "bench_fluid_speedup", "bench_telemetry_overhead")
+                  "bench_fleet_memory", "bench_fluid_speedup",
+                  "bench_telemetry_overhead")
 
 
 def load_medians(path: Path) -> Dict[str, float]:

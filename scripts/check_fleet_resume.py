@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Kill-and-resume check for the streaming fleet pipeline (CI gate).
+
+Three invocations of ``repro fleet`` over the same population:
+
+1. a *clean* run (no interruption) — the reference aggregate;
+2. a *victim* run with ``--checkpoint``, SIGKILLed from outside as
+   soon as the checkpoint shows the first shard complete — a real
+   mid-run kill, not a cooperative exit;
+3. a ``--resume`` run against the victim's checkpoint.
+
+The check passes iff the resumed run's merged
+:class:`~repro.workload.fleet_agg.FleetAggregate` equals the clean
+run's (the aggregate's own merge-order-tolerant equality — raw JSON
+may differ in float summation order).  A timeout waiting for shard 1
+falls back to killing at whatever cursor the victim reached; resume
+must still reproduce the clean aggregate.
+
+Usage::
+
+    python scripts/check_fleet_resume.py --hosts 400 --shards 2 \\
+        --fidelity fluid
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.workload.fleet_agg import FleetAggregate  # noqa: E402
+
+
+def fleet_cmd(args: argparse.Namespace, extra: list) -> list:
+    return [sys.executable, "-m", "repro", "fleet",
+            "--hosts", str(args.hosts), "--shards", str(args.shards),
+            "--seed", str(args.seed), "--fidelity", args.fidelity,
+            *extra]
+
+
+def run(cmd: list, **popen_args) -> subprocess.CompletedProcess:
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    return subprocess.run(cmd, env=env, cwd=str(REPO), **popen_args)
+
+
+def wait_for_shard_done(checkpoint: Path, victim: subprocess.Popen,
+                        timeout_s: float) -> bool:
+    """Poll the checkpoint until any shard reports done (or timeout)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if victim.poll() is not None:
+            return False  # victim finished before we could kill it
+        try:
+            state = json.loads(checkpoint.read_text())
+            if any(record["done"]
+                   for record in state["shards"].values()):
+                return True
+        except (FileNotFoundError, json.JSONDecodeError):
+            pass  # not written yet / mid-replace on a non-atomic FS
+        time.sleep(0.05)
+    return False
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--hosts", type=int, default=400)
+    parser.add_argument("--shards", default="2")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--fidelity", default="fluid")
+    parser.add_argument("--kill-timeout", type=float, default=120.0,
+                        help="seconds to wait for shard 1 before "
+                             "killing anyway")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="fleet-resume-") as tmp:
+        tmp_path = Path(tmp)
+        clean_json = tmp_path / "clean.json"
+        resumed_json = tmp_path / "resumed.json"
+        checkpoint = tmp_path / "fleet.ckpt.json"
+
+        print(f"[1/3] clean run: {args.hosts} hosts, "
+              f"{args.shards} shards, {args.fidelity}")
+        result = run(fleet_cmd(args, ["--json-out", str(clean_json)]),
+                     capture_output=True, text=True)
+        if result.returncode != 0:
+            print(result.stdout)
+            print(result.stderr)
+            print("FAIL: clean run exited nonzero")
+            return 1
+
+        print("[2/3] victim run with --checkpoint, SIGKILL after "
+              "first shard completes")
+        victim = subprocess.Popen(
+            fleet_cmd(args, ["--checkpoint", str(checkpoint),
+                             "--checkpoint-every", "50"]),
+            env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+            cwd=str(REPO), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        saw_shard = wait_for_shard_done(checkpoint, victim,
+                                        args.kill_timeout)
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+            print(f"      killed pid {victim.pid} "
+                  f"(shard-1-done observed: {saw_shard})")
+        else:
+            print("      victim finished before the kill — resume "
+                  "must then be a no-op")
+
+        print("[3/3] --resume from the checkpoint")
+        result = run(fleet_cmd(args, ["--checkpoint", str(checkpoint),
+                                      "--resume",
+                                      "--json-out",
+                                      str(resumed_json)]),
+                     capture_output=True, text=True)
+        if result.returncode != 0:
+            print(result.stdout)
+            print(result.stderr)
+            print("FAIL: resumed run exited nonzero")
+            return 1
+
+        clean = FleetAggregate.from_dict(
+            json.loads(clean_json.read_text()))
+        resumed = FleetAggregate.from_dict(
+            json.loads(resumed_json.read_text()))
+        if clean != resumed:
+            print(f"FAIL: resumed aggregate != clean aggregate\n"
+                  f"  clean:   {clean!r}\n  resumed: {resumed!r}")
+            return 1
+        print(f"OK: resumed aggregate == clean aggregate "
+              f"({clean.hosts} hosts, {clean.droppers} droppers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

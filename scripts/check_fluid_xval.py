@@ -52,14 +52,21 @@ def _quality(spec: ScenarioSpec, requested: Optional[str]):
 def cross_validate(spec: ScenarioSpec, quality: Optional[str],
                    workers) -> xval.AgreementReport:
     quality = _quality(spec, quality)
+    if spec.driver == "fleet":
+        # Fleet specs cross-validate through the streaming aggregate
+        # pipeline — the path `repro fleet` actually runs at scale.
+        packet = spec.run_fleet_aggregate(quality=quality,
+                                          fidelity="packet",
+                                          workers=workers)
+        fluid = spec.run_fleet_aggregate(quality=quality,
+                                         fidelity="fluid")
+        return xval.compare_fleet_aggregate(spec.name, packet, fluid)
     packet = spec.run(quality=quality, fidelity="packet",
                       workers=workers)
     fluid = spec.run(quality=quality, fidelity="fluid")
     if spec.driver == "sweep":
         return xval.compare_sweep(spec.name, packet, fluid,
                                   _x_key(spec))
-    if spec.driver == "fleet":
-        return xval.compare_fleet(spec.name, packet, fluid)
     if spec.driver == "day":
         return xval.compare_day(spec.name, packet, fluid)
     return xval.compare_isolation(spec.name, packet, fluid)

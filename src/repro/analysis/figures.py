@@ -238,33 +238,30 @@ def _sweep_figure(spec: ScenarioSpec, table: ResultTable,
                       table=table)
 
 
-def _fleet_figure(spec: ScenarioSpec, samples) -> FigureData:
-    points = [(s.link_utilization, s.drop_rate) for s in samples]
-    droppers = [s for s in samples if s.drop_rate > 1e-4]
-    low_util_droppers = [
-        s for s in droppers if s.link_utilization < 0.5
-    ]
-    corr = spearman([p[0] for p in points], [p[1] for p in points])
-    high = [s for s in samples if s.link_utilization > 0.85]
-    low = [s for s in samples if s.link_utilization < 0.6]
+def _fleet_figure(spec: ScenarioSpec, aggregate) -> FigureData:
+    """Materialize Fig. 1 from a streamed
+    :class:`~repro.workload.fleet_agg.FleetAggregate`.
 
-    def drop_fraction(group):
-        if not group:
-            return 0.0
-        return sum(1 for s in group if s.drop_rate > 1e-4) / len(group)
-
+    The scatter is the occupied density-cell midpoints (constant-size
+    whatever the fleet size) and every summary note is answered by the
+    aggregate — no per-host samples exist at million-host scale.  The
+    ``spearman`` note is the rank correlation of the binned population
+    (see :func:`repro.workload.fleet_agg.density_rank_correlation`).
+    """
     return FigureData(
         name=spec.name,
         title=spec.title,
         panels={},
-        scatter=points,
+        scatter=aggregate.scatter_points(),
         notes={
-            "hosts": len(samples),
-            "spearman": round(corr, 3),
-            "hosts_with_drops": len(droppers),
-            "low_util_hosts_with_drops": len(low_util_droppers),
-            "drop_fraction_high_util": round(drop_fraction(high), 3),
-            "drop_fraction_low_util": round(drop_fraction(low), 3),
+            "hosts": aggregate.hosts,
+            "spearman": round(aggregate.rank_correlation(), 3),
+            "hosts_with_drops": aggregate.droppers,
+            "low_util_hosts_with_drops": aggregate.low_util_droppers,
+            "drop_fraction_high_util": round(
+                aggregate.drop_fraction_high_util, 3),
+            "drop_fraction_low_util": round(
+                aggregate.drop_fraction_low_util, 3),
         },
     )
 
@@ -291,10 +288,10 @@ def figure_from_scenario(
     """
     _check_quality(spec, quality)
     if spec.driver == "fleet":
-        samples = spec.run(quality=quality, base=base,
-                           fidelity=fidelity, workers=workers,
-                           events=events)
-        return _fleet_figure(spec, samples)
+        aggregate = spec.run_fleet_aggregate(
+            quality=quality, base=base, fidelity=fidelity,
+            workers=workers, events=events)
+        return _fleet_figure(spec, aggregate)
     if spec.driver != "sweep":
         raise ValueError(
             f"scenario {spec.name!r} (driver {spec.driver!r}) does "

@@ -54,6 +54,7 @@ __all__ = [
     "Disagreement",
     "compare_day",
     "compare_fleet",
+    "compare_fleet_aggregate",
     "compare_isolation",
     "compare_sweep",
     "drop_onset",
@@ -279,6 +280,61 @@ def compare_fleet(scenario: str, packet: Sequence,
     report.check(abs(p_frac - f_frac) <= 0.25, "dropper-fraction", "-",
                  f"fraction of dropping hosts: packet {p_frac:.2f} vs "
                  f"fluid {f_frac:.2f} (tolerance 0.25)")
+    return report
+
+
+#: Max |packet - fluid| gap in per-stratum median link utilization.
+STRATUM_UTIL_TOLERANCE = 0.15
+
+
+def compare_fleet_aggregate(scenario: str, packet,
+                            fluid) -> AgreementReport:
+    """Cross-validate streamed fleet aggregates
+    (:class:`~repro.workload.fleet_agg.FleetAggregate`).
+
+    The constant-memory sibling of :func:`compare_fleet`: the same
+    Fig. 1 contract — positive utilization–drop rank correlation and
+    matching dropper fractions at both fidelities — answered from the
+    mergeable aggregates, plus per-stratum median link-utilization
+    agreement (the strata are the population's ground truth, so their
+    medians moving under a fidelity swap would mean the engines model
+    different fleets).
+    """
+    report = AgreementReport(scenario=scenario)
+    report.check(packet.hosts == fluid.hosts
+                 and packet.failed == fluid.failed, "population", "-",
+                 f"{packet.hosts} packet hosts ({packet.failed} "
+                 f"failed) vs {fluid.hosts} fluid ({fluid.failed} "
+                 f"failed)")
+    if not packet.hosts or packet.hosts != fluid.hosts:
+        return report
+    p_corr = packet.rank_correlation()
+    f_corr = fluid.rank_correlation()
+    report.check(p_corr > 0 and f_corr > 0, "drop-correlation", "-",
+                 f"drop rate must correlate positively with "
+                 f"utilization at both fidelities "
+                 f"(packet {p_corr:.2f}, fluid {f_corr:.2f})")
+    p_frac, f_frac = packet.dropper_fraction, fluid.dropper_fraction
+    report.check(abs(p_frac - f_frac) <= 0.25, "dropper-fraction", "-",
+                 f"fraction of dropping hosts: packet {p_frac:.2f} vs "
+                 f"fluid {f_frac:.2f} (tolerance 0.25)")
+    strata = sorted(set(packet.stratum_sketches)
+                    | set(fluid.stratum_sketches))
+    for stratum in strata:
+        point = f"stratum={stratum}"
+        in_both = (stratum in packet.stratum_sketches
+                   and stratum in fluid.stratum_sketches)
+        report.check(in_both, "stratum-coverage", point,
+                     "stratum must be populated at both fidelities")
+        if not in_both:
+            continue
+        p_med = packet.stratum_median(stratum, "link_utilization")
+        f_med = fluid.stratum_median(stratum, "link_utilization")
+        report.check(
+            abs(p_med - f_med) <= STRATUM_UTIL_TOLERANCE,
+            "stratum-median-util", point,
+            f"median link utilization: packet {p_med:.2f} vs fluid "
+            f"{f_med:.2f} (tolerance {STRATUM_UTIL_TOLERANCE})")
     return report
 
 

@@ -8,7 +8,10 @@ Commands:
 - ``scenario`` — list, validate, or run declarative scenario specs
   (bundled ``repro.scenarios`` or ``.toml``/``.json`` files)
 - ``figure``   — regenerate one paper figure (ASCII + CSV + shape checks)
-- ``fleet``    — sample a heterogeneous fleet (Fig. 1) and print scatter
+- ``fleet``    — stream a sampled fleet (Fig. 1) through the
+  constant-memory aggregate pipeline: ``--shards/--shard-index``,
+  atomic ``--checkpoint``/``--resume``, and ``fleet merge`` to
+  combine shard summaries (multi-machine joins)
 - ``model``    — evaluate the analytical model at a grid of miss rates
 - ``trace``    — run one experiment traced, export Perfetto JSON
   (``--sample-interval-us`` adds counter tracks from the telemetry
@@ -515,26 +518,101 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0 if all(f.passed for f in findings) else 1
 
 
+#: ``--shards auto``: one shard (checkpoint granule) per this many
+#: hosts — small enough that a resumed run loses minutes, not hours.
+_HOSTS_PER_SHARD = 32768
+
+
+def _fleet_shards(args: argparse.Namespace) -> int:
+    if args.shards == "auto":
+        return max(1, -(-args.hosts // _HOSTS_PER_SHARD))
+    count = int(args.shards)
+    if count < 1:
+        raise SystemExit("--shards must be >= 1 or 'auto'")
+    return count
+
+
+def _fleet_checkpoint_path(args: argparse.Namespace) -> Optional[str]:
+    """Resolve ``--checkpoint [PATH]`` / ``--resume`` to a path.
+
+    Bare ``--checkpoint`` (or ``--resume`` alone) derives a
+    deterministic per-population file next to the run ledger, so a
+    crashed invocation resumes with the same flags plus ``--resume``.
+    """
+    wants = args.checkpoint is not None or args.resume
+    if not wants:
+        return None
+    if args.checkpoint not in (None, ""):
+        return args.checkpoint
+    from repro.core.ledger import default_ledger_dir
+
+    name = (f"fleet-seed{args.seed}-hosts{args.hosts}"
+            f"-{args.fidelity or 'packet'}.ckpt.json")
+    return str(Path(default_ledger_dir()) / name)
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
+    import time
+
     from repro.analysis.text_plots import scatter_plot
     from repro.workload.fleet import FleetSampler
 
     sampler = FleetSampler(seed=args.seed,
                            warmup=args.warmup_ms * 1e-3,
-                           duration=args.duration_ms * 1e-3)
+                           duration=args.duration_ms * 1e-3,
+                           fidelity=args.fidelity or "packet")
+    checkpoint = _fleet_checkpoint_path(args)
     telemetry = _Telemetry(args, label="fleet")
+    start = time.perf_counter()
     try:
-        samples = sampler.run(args.hosts, workers=args.workers,
-                              events=telemetry.sink)
+        aggregate = sampler.run_aggregate(
+            args.hosts, shards=_fleet_shards(args),
+            shard_index=args.shard_index, workers=args.workers,
+            events=telemetry.sink, checkpoint=checkpoint,
+            resume=args.resume, checkpoint_every=args.checkpoint_every,
+            stop_after_shard=args.stop_after_shard)
     except BaseException:
         telemetry.finish(ok=False)
         raise
     telemetry.finish()
-    points = [(s.link_utilization, s.drop_rate) for s in samples]
-    print(scatter_plot(points, title="fleet drop rate vs utilization",
+    elapsed = time.perf_counter() - start
+    print(scatter_plot(aggregate.scatter_points(),
+                       title="fleet drop rate vs utilization",
                        x_label="link utilization", y_label="drop rate"))
-    droppers = sum(1 for s in samples if s.drop_rate > 1e-4)
-    print(f"\n{droppers}/{len(samples)} hosts dropping")
+    for line in aggregate.format_lines():
+        print(line)
+    print(f"\n{aggregate.droppers}/{aggregate.hosts} hosts dropping "
+          f"({elapsed:.1f}s wall)")
+    if checkpoint is not None:
+        print(f"checkpoint: {checkpoint}")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(aggregate.to_dict()))
+        print(f"aggregate: {args.json_out}")
+    return 0
+
+
+def cmd_fleet_merge(args: argparse.Namespace) -> int:
+    """Merge shard aggregates (``--json-out`` files and/or checkpoint
+    files) into one fleet summary — the multi-machine join step."""
+    from repro.workload.fleet_agg import FleetAggregate, FleetCheckpoint
+
+    merged: Optional[FleetAggregate] = None
+    for path in args.inputs:
+        state = json.loads(Path(path).read_text())
+        if "shards" in state and "meta" in state:
+            part = FleetCheckpoint.load(path).merged()
+        else:
+            part = FleetAggregate.from_dict(state)
+        merged = part if merged is None else merged.merge(part)
+    assert merged is not None  # argparse enforces >= 1 input
+    print(f"merged {len(args.inputs)} shard summaries:")
+    for line in merged.format_lines():
+        print(line)
+    print(f"\n{merged.droppers}/{merged.hosts} hosts dropping")
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(merged.to_dict()))
+        print(f"aggregate: {args.json_out}")
     return 0
 
 
@@ -825,11 +903,50 @@ def build_parser() -> argparse.ArgumentParser:
     _parallel_args(p_fig)
     p_fig.set_defaults(func=cmd_figure)
 
-    p_fleet = sub.add_parser("fleet", help="sample a fleet (Fig. 1)")
+    p_fleet = sub.add_parser(
+        "fleet", help="stream a sampled fleet (Fig. 1)")
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command")
+    p_fleet_merge = fleet_sub.add_parser(
+        "merge", help="merge shard aggregates / checkpoints")
+    p_fleet_merge.add_argument(
+        "inputs", nargs="+",
+        help="aggregate JSON (--json-out) or checkpoint files")
+    p_fleet_merge.add_argument("--json-out", default=None,
+                               help="write the merged aggregate JSON")
+    p_fleet_merge.set_defaults(func=cmd_fleet_merge)
     p_fleet.add_argument("--hosts", type=int, default=30)
     p_fleet.add_argument("--seed", type=int, default=7)
     p_fleet.add_argument("--warmup-ms", type=float, default=3.0)
     p_fleet.add_argument("--duration-ms", type=float, default=6.0)
+    p_fleet.add_argument("--fidelity", default=None,
+                         choices=_fidelity_choices(),
+                         help="engine for every host (fluid scales to "
+                              "millions; default packet)")
+    p_fleet.add_argument("--shards", default="1", metavar="N|auto",
+                         help="checkpoint granules ('auto' = one per "
+                              f"{_HOSTS_PER_SHARD} hosts)")
+    p_fleet.add_argument("--shard-index", type=int, default=None,
+                         metavar="K",
+                         help="run only shard K (multi-machine: merge "
+                              "the per-shard outputs afterwards)")
+    p_fleet.add_argument("--checkpoint", nargs="?", const="",
+                         default=None, metavar="PATH",
+                         help="checkpoint progress atomically (bare "
+                              "flag: derived path under the ledger "
+                              "dir)")
+    p_fleet.add_argument("--resume", action="store_true",
+                         help="resume from the checkpoint instead of "
+                              "starting over")
+    p_fleet.add_argument("--checkpoint-every", type=int, default=2000,
+                         metavar="N",
+                         help="hosts between checkpoint saves "
+                              "(default 2000)")
+    p_fleet.add_argument("--stop-after-shard", type=int, default=None,
+                         metavar="K",
+                         help="exit after shard K completes "
+                              "(deterministic kill stand-in for tests)")
+    p_fleet.add_argument("--json-out", default=None,
+                         help="write the merged aggregate JSON")
     _parallel_args(p_fleet, cache_flags=False)
     _telemetry_args(p_fleet, keep_failed=False)
     p_fleet.set_defaults(func=cmd_fleet)

@@ -36,6 +36,15 @@ Serial execution (``workers=1``) goes through the same single-run
 worker function as the pool path — one code shape, one set of
 semantics — and is the in-process fallback wherever a pool is not
 worth its fork cost.
+
+Streaming: :func:`run_stream` is the constant-memory sibling of
+:func:`run_many`.  It consumes its config iterable *lazily*, keeps at
+most a bounded window of runs in flight, and yields each
+:class:`RunOutcome` in submission order as soon as its turn completes
+— no config list, no result list, no O(n) parent state.  It is the
+execution engine of the million-host fleet pipeline
+(:meth:`repro.workload.fleet.FleetSampler.run_aggregate`), where the
+parent folds every outcome into a mergeable aggregate and drops it.
 """
 
 from __future__ import annotations
@@ -47,7 +56,16 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.core.cache import ResultCache
 from repro.core.config import ExperimentConfig
@@ -59,6 +77,7 @@ __all__ = [
     "SweepRunError",
     "resolve_workers",
     "run_many",
+    "run_stream",
 ]
 
 Workers = Union[int, str, None]
@@ -212,6 +231,60 @@ def _execute(index: int, config: ExperimentConfig, want_snapshot: bool,
     return index, ("ok", result, snapshot, stats_for(handles))
 
 
+def _settle(
+    index: int,
+    config: ExperimentConfig,
+    payload: tuple,
+    events: Optional[EventSink],
+    failures: str,
+    *,
+    cache: Optional[ResultCache] = None,
+    want_snapshots: bool = False,
+) -> RunOutcome:
+    """Convert a worker payload into a :class:`RunOutcome`.
+
+    Shared by :func:`run_many` and :func:`run_stream`: emits the
+    ``finished``/``failed`` lifecycle event, stores successes in the
+    cache, and — under ``failures="raise"`` — raises
+    :class:`SweepRunError` with the offending config attached.
+    """
+    kind = payload[0]
+    if kind == "error":
+        _, message, tb_text, exc_type, stats = payload
+        if events is not None:
+            events({"ev": "failed", "index": index,
+                    "failure_kind": "error", "error": message,
+                    "exception_type": exc_type,
+                    "traceback_tail":
+                        tb_text[-FailedRun.TRACEBACK_LIMIT:],
+                    **(stats or {"ts": time.time()})})
+        if failures == "raise":
+            raise SweepRunError(index, config, message,
+                                worker_traceback=tb_text)
+        failed = FailedRun.from_config(
+            config, kind="error", error=message,
+            elapsed_s=(stats or {}).get("wall_s", 0.0),
+            exception_type=exc_type, traceback_text=tb_text)
+        return RunOutcome(index=index, result=failed, snapshot=None)
+    if kind == "timeout":
+        _, failed, stats = payload
+        if events is not None:
+            events({"ev": "failed", "index": index,
+                    "failure_kind": "timeout", "error": failed.error,
+                    **(stats or {"ts": time.time()})})
+        return RunOutcome(index=index, result=failed, snapshot=None)
+    _, result, snapshot, stats = payload
+    if cache is not None:
+        cache.put(config, result, snapshot)
+    if events is not None:
+        events({"ev": "finished", "index": index,
+                "params": config.describe(),
+                "metrics": _headline(result),
+                **(stats or {"ts": time.time()})})
+    return RunOutcome(index=index, result=result,
+                      snapshot=snapshot if want_snapshots else None)
+
+
 def run_many(
     configs: Iterable[ExperimentConfig],
     *,
@@ -277,45 +350,9 @@ def run_many(
     want = want_snapshots or cache is not None
 
     def finalize(index: int, payload: tuple) -> None:
-        kind = payload[0]
-        if kind == "error":
-            _, message, tb_text, exc_type, stats = payload
-            if events is not None:
-                events({"ev": "failed", "index": index,
-                        "failure_kind": "error", "error": message,
-                        "exception_type": exc_type,
-                        "traceback_tail":
-                            tb_text[-FailedRun.TRACEBACK_LIMIT:],
-                        **(stats or {"ts": time.time()})})
-            if failures == "raise":
-                raise SweepRunError(index, configs[index], message,
-                                    worker_traceback=tb_text)
-            failed = FailedRun.from_config(
-                configs[index], kind="error", error=message,
-                elapsed_s=(stats or {}).get("wall_s", 0.0),
-                exception_type=exc_type, traceback_text=tb_text)
-            outcomes[index] = RunOutcome(index=index, result=failed,
-                                         snapshot=None)
-        elif kind == "timeout":
-            _, failed, stats = payload
-            if events is not None:
-                events({"ev": "failed", "index": index,
-                        "failure_kind": "timeout", "error": failed.error,
-                        **(stats or {"ts": time.time()})})
-            outcomes[index] = RunOutcome(index=index, result=failed,
-                                         snapshot=None)
-        else:
-            _, result, snapshot, stats = payload
-            if cache is not None:
-                cache.put(configs[index], result, snapshot)
-            if events is not None:
-                events({"ev": "finished", "index": index,
-                        "params": configs[index].describe(),
-                        "metrics": _headline(result),
-                        **(stats or {"ts": time.time()})})
-            outcomes[index] = RunOutcome(
-                index=index, result=result,
-                snapshot=snapshot if want_snapshots else None)
+        outcomes[index] = _settle(index, configs[index], payload,
+                                  events, failures, cache=cache,
+                                  want_snapshots=want_snapshots)
         if progress is not None:
             progress(index, outcomes[index].result)
 
@@ -380,6 +417,127 @@ def _run_pool(configs, pending, want, timeout, n_workers,
             except BaseException:
                 # A failed run (or Ctrl-C) aborts the sweep: drop the
                 # queued work so shutdown does not run it to completion.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        drain()
+    finally:
+        if manager is not None:
+            manager.shutdown()
+
+
+def run_stream(
+    configs: Iterable[ExperimentConfig],
+    *,
+    workers: Workers = None,
+    timeout: Optional[float] = None,
+    events: Optional[EventSink] = None,
+    failures: str = "keep",
+    window: Optional[int] = None,
+    start_index: int = 0,
+) -> Iterator[RunOutcome]:
+    """Stream outcomes for a lazily-drawn config sequence.
+
+    The constant-memory sibling of :func:`run_many`: ``configs`` is
+    consumed incrementally (never materialized), at most ``window``
+    runs are in flight or buffered at any moment (default
+    ``2 * workers``), and outcomes are yielded **in submission order**
+    — the reorder buffer is bounded by the window, so parent memory is
+    independent of the stream length.  Outcome indices count from
+    ``start_index`` (a sharded caller passes its shard's global
+    offset, so ledger rows carry fleet-wide host indices).
+
+    ``failures`` defaults to ``"keep"`` — one pathological host in a
+    million-host stream yields a structured :class:`FailedRun` outcome
+    instead of sinking the run; pass ``"raise"`` for
+    :func:`run_many`-style abort semantics.  There is no cache or
+    snapshot plumbing here: a streaming consumer folds each outcome
+    and drops it, so memoizing per-run payloads would defeat the
+    point.
+
+    Back-pressure note: submission pauses while the consumer holds an
+    outcome, so a slow fold slows the pool instead of letting results
+    pile up in the parent.
+    """
+    if failures not in ("raise", "keep"):
+        raise ValueError(
+            f"failures must be 'raise' or 'keep', got {failures!r}")
+    numbered = iter(enumerate(configs, start=start_index))
+    n_workers = resolve_workers(workers)
+
+    if n_workers == 1:
+        for index, config in numbered:
+            _, payload = _execute(index, config, False, timeout,
+                                  emit=events)
+            yield _settle(index, config, payload, events, failures)
+        return
+
+    if window is None:
+        window = 2 * n_workers
+    window = max(int(window), n_workers)
+
+    manager = None
+    queue = None
+    pool_kwargs: dict = {}
+    try:
+        if events is not None:
+            manager = multiprocessing.Manager()
+            queue = manager.Queue()
+            pool_kwargs = {"initializer": _init_worker,
+                           "initargs": (queue,)}
+
+        def drain() -> None:
+            if queue is None:
+                return
+            while not queue.empty():
+                events(queue.get_nowait())
+
+        with ProcessPoolExecutor(max_workers=n_workers,
+                                 **pool_kwargs) as pool:
+            in_flight: Dict = {}       # future -> (index, config)
+            ready: Dict[int, tuple] = {}   # index -> (config, payload)
+            next_yield = start_index
+            exhausted = False
+
+            def top_up() -> None:
+                nonlocal exhausted
+                while (not exhausted
+                       and len(in_flight) + len(ready) < window):
+                    try:
+                        index, config = next(numbered)
+                    except StopIteration:
+                        exhausted = True
+                        return
+                    future = pool.submit(_execute, index, config,
+                                         False, timeout)
+                    in_flight[future] = (index, config)
+
+            try:
+                top_up()
+                while in_flight or ready:
+                    if in_flight:
+                        if queue is not None:
+                            done, _ = wait(in_flight, timeout=0.2,
+                                           return_when=FIRST_COMPLETED)
+                            drain()
+                        else:
+                            done, _ = wait(in_flight,
+                                           return_when=FIRST_COMPLETED)
+                        for future in done:
+                            index, config = in_flight.pop(future)
+                            _, payload = future.result()
+                            ready[index] = (config, payload)
+                    while next_yield in ready:
+                        config, payload = ready.pop(next_yield)
+                        outcome = _settle(next_yield, config, payload,
+                                          events, failures)
+                        next_yield += 1
+                        top_up()
+                        yield outcome
+                    top_up()
+            except BaseException:
+                # Consumer abandoned the stream (GeneratorExit), a
+                # run raised, or Ctrl-C: drop queued work so shutdown
+                # does not run the remaining million hosts.
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
         drain()

@@ -598,18 +598,49 @@ class ScenarioSpec:
         raise ScenarioError(
             f"{self.source}: unknown driver {self.driver!r}")
 
-    def _run_fleet(self, quality, base, fidelity=None, *,
-                   workers: Workers = None, events=None):
+    def fleet_sampler(self, quality=None, base=None, fidelity=None):
+        """Build the spec's :class:`~repro.workload.fleet.FleetSampler`
+        (fleet driver only) plus its configured host count."""
         from repro.workload.fleet import FleetSampler
 
+        if self.driver != "fleet":
+            raise ScenarioError(
+                f"{self.source}: fleet_sampler() needs driver = "
+                f"'fleet', got {self.driver!r}")
         config = self.base_config(quality, base, fidelity)
         sampler = FleetSampler(
             seed=int(self.driver_args.get("seed", 7)),
             warmup=config.sim.warmup,
             duration=config.sim.duration,
             fidelity=config.fidelity)
-        n_hosts = int(self.driver_args.get("n_hosts", 30))
+        return sampler, int(self.driver_args.get("n_hosts", 30))
+
+    def _run_fleet(self, quality, base, fidelity=None, *,
+                   workers: Workers = None, events=None):
+        sampler, n_hosts = self.fleet_sampler(quality, base, fidelity)
         return sampler.run(n_hosts, workers=workers, events=events)
+
+    def run_fleet_aggregate(self, quality=None, base=None,
+                            fidelity=None, *,
+                            workers: Workers = None, events=None,
+                            progress=None, n_hosts=None, **stream_args):
+        """Run the fleet driver through the constant-memory streaming
+        pipeline, returning a merged
+        :class:`~repro.workload.fleet_agg.FleetAggregate`.
+
+        ``stream_args`` pass straight to
+        :meth:`~repro.workload.fleet.FleetSampler.run_aggregate`
+        (``shards=``, ``checkpoint=``, ``resume=``, ...); the spec's
+        ``driver_args.shards`` supplies the default shard count.
+        """
+        sampler, spec_hosts = self.fleet_sampler(quality, base,
+                                                 fidelity)
+        stream_args.setdefault(
+            "shards", int(self.driver_args.get("shards", 1)))
+        return sampler.run_aggregate(
+            spec_hosts if n_hosts is None else int(n_hosts),
+            workers=workers, events=events, progress=progress,
+            **stream_args)
 
     def _run_day(self, quality, base, fidelity=None):
         from repro.workload.day import diurnal_schedule, simulate_day
@@ -752,7 +783,7 @@ def _validate_quality(raw: Any, axes: Tuple[SweepAxis, ...],
 
 _DRIVER_ARGS = {
     "sweep": set(),
-    "fleet": {"n_hosts", "seed"},
+    "fleet": {"n_hosts", "seed", "shards"},
     "day": {"n_bins", "schedule_seed", "base_load", "swing",
             "antagonist_peak", "bin_duration", "warmup_per_bin"},
     "isolation": set(),

@@ -37,7 +37,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["CategoryTally", "QuantileSketch"]
+__all__ = ["CategoryTally", "Density2D", "QuantileSketch"]
 
 #: Magnitudes below this collapse into the exact-zero bucket.
 _MIN_TRACKED = 1e-12
@@ -246,6 +246,183 @@ class QuantileSketch:
         return (f"QuantileSketch(count={self.count}, "
                 f"bins={len(self._bins) + len(self._neg_bins)}, "
                 f"alpha={self.alpha})")
+
+
+class Density2D:
+    """Mergeable 2-D density grid: linear x bins × log-scaled y bins.
+
+    The streaming replacement for a raw scatter: each ``(x, y)`` point
+    lands in one cell of a fixed grid, so a million-host population
+    compresses to at most ``x_bins * (y_decades * y_per_decade + 1)``
+    integer counts — constant memory, and ``merge()`` is plain cell
+    addition (exactly associative and commutative, like
+    :class:`QuantileSketch`).
+
+    The y axis is logarithmic with a dedicated *zero* bin below
+    ``y_floor``, matching how Fig. 1 plots drop rates: the interesting
+    structure spans 1e-6..1e-1 and a linear grid would collapse it
+    into one bin.  X values are clamped into ``[x_min, x_max]``;
+    y values above ``y_ceil`` land in the top bin.
+
+    Cell midpoints (:meth:`x_mid` / :meth:`y_mid`) reconstruct a
+    weighted scatter for rendering and for rank statistics
+    (:func:`repro.workload.fleet_agg.density_rank_correlation`).
+    """
+
+    __slots__ = ("x_min", "x_max", "x_bins", "y_floor", "y_ceil",
+                 "y_per_decade", "_cells")
+
+    #: y bin index reserved for values below ``y_floor`` (exact zeros
+    #: and negligible magnitudes).
+    ZERO_BIN = -1
+
+    def __init__(self, x_min: float = 0.0, x_max: float = 1.1,
+                 x_bins: int = 44, y_floor: float = 1e-7,
+                 y_ceil: float = 1.0, y_per_decade: int = 8):
+        if not x_max > x_min:
+            raise ValueError(
+                f"x_max must exceed x_min, got [{x_min}, {x_max}]")
+        if x_bins < 1 or y_per_decade < 1:
+            raise ValueError("x_bins and y_per_decade must be >= 1")
+        if not 0.0 < y_floor < y_ceil:
+            raise ValueError(
+                f"need 0 < y_floor < y_ceil, got [{y_floor}, {y_ceil}]")
+        self.x_min = float(x_min)
+        self.x_max = float(x_max)
+        self.x_bins = int(x_bins)
+        self.y_floor = float(y_floor)
+        self.y_ceil = float(y_ceil)
+        self.y_per_decade = int(y_per_decade)
+        self._cells: Dict[Tuple[int, int], int] = {}
+
+    # -- binning ------------------------------------------------------------
+
+    def _x_key(self, x: float) -> int:
+        span = self.x_max - self.x_min
+        position = (float(x) - self.x_min) / span
+        return min(self.x_bins - 1, max(0, int(position * self.x_bins)))
+
+    def _y_key(self, y: float) -> int:
+        y = float(y)
+        if y < self.y_floor:
+            return self.ZERO_BIN
+        if y > self.y_ceil:
+            y = self.y_ceil
+        # Log-decade position above the floor, quantized.
+        decades = math.log10(y / self.y_floor)
+        key = int(decades * self.y_per_decade)
+        top = self._top_y_key()
+        return min(key, top)
+
+    def _top_y_key(self) -> int:
+        decades = math.log10(self.y_ceil / self.y_floor)
+        return int(math.ceil(decades * self.y_per_decade))
+
+    def observe(self, x: float, y: float, n: int = 1) -> None:
+        """Fold ``n`` points at ``(x, y)`` into the grid."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if not (math.isfinite(x) and math.isfinite(y)):
+            raise ValueError(
+                f"cannot observe non-finite point ({x!r}, {y!r})")
+        key = (self._x_key(x), self._y_key(y))
+        self._cells[key] = self._cells.get(key, 0) + n
+
+    # -- midpoints ----------------------------------------------------------
+
+    def x_mid(self, xi: int) -> float:
+        width = (self.x_max - self.x_min) / self.x_bins
+        return self.x_min + (xi + 0.5) * width
+
+    def y_mid(self, yi: int) -> float:
+        if yi == self.ZERO_BIN:
+            return 0.0
+        # Geometric midpoint of the log-spaced bin; the top bin is the
+        # clamp target for y > y_ceil, so its midpoint must not
+        # overshoot the ceiling.
+        mid = self.y_floor * 10.0 ** ((yi + 0.5) / self.y_per_decade)
+        return min(mid, self.y_ceil)
+
+    # -- merge protocol -----------------------------------------------------
+
+    def _params(self) -> Tuple:
+        return (self.x_min, self.x_max, self.x_bins, self.y_floor,
+                self.y_ceil, self.y_per_decade)
+
+    def merge(self, other: "Density2D") -> "Density2D":
+        """Fold ``other`` into ``self`` (cell-count addition)."""
+        if other._params() != self._params():
+            raise ValueError(
+                "cannot merge density grids with different binning: "
+                f"{self._params()} vs {other._params()}")
+        for key, occupancy in other._cells.items():
+            self._cells[key] = self._cells.get(key, 0) + occupancy
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return sum(self._cells.values())
+
+    def cells(self) -> List[Tuple[Tuple[int, int], int]]:
+        """``((xi, yi), count)`` sorted by bin key (deterministic)."""
+        return sorted(self._cells.items())
+
+    def points(self) -> List[Tuple[float, float, int]]:
+        """``(x_mid, y_mid, count)`` per occupied cell — the weighted
+        scatter the figure renders."""
+        return [(self.x_mid(xi), self.y_mid(yi), count)
+                for (xi, yi), count in self.cells()]
+
+    def count_where(self, x_test=None, y_test=None) -> int:
+        """Points whose cell *midpoints* satisfy the given predicates."""
+        total = 0
+        for (xi, yi), count in self._cells.items():
+            if x_test is not None and not x_test(self.x_mid(xi)):
+                continue
+            if y_test is not None and not y_test(self.y_mid(yi)):
+                continue
+            total += count
+        return total
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "x_min": self.x_min,
+            "x_max": self.x_max,
+            "x_bins": self.x_bins,
+            "y_floor": self.y_floor,
+            "y_ceil": self.y_ceil,
+            "y_per_decade": self.y_per_decade,
+            "cells": {f"{xi},{yi}": count
+                      for (xi, yi), count in self.cells()},
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict) -> "Density2D":
+        grid = cls(x_min=state["x_min"], x_max=state["x_max"],
+                   x_bins=state["x_bins"], y_floor=state["y_floor"],
+                   y_ceil=state["y_ceil"],
+                   y_per_decade=state["y_per_decade"])
+        for key, count in state["cells"].items():
+            xi, yi = key.split(",")
+            grid._cells[(int(xi), int(yi))] = int(count)
+        return grid
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Density2D):
+            return NotImplemented
+        return (self._params() == other._params()
+                and self._cells == other._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __repr__(self) -> str:
+        return (f"Density2D(total={self.total}, "
+                f"occupied={len(self._cells)})")
 
 
 class CategoryTally:

@@ -14,13 +14,27 @@ The two qualitative features of Fig. 1 both emerge:
 - a population of hosts drops packets at *low* utilization — the
   memory-antagonized hosts, where the NIC-to-memory path collapses
   below the access-link rate.
+
+Scale: host #``i``'s configuration is a *pure function* of
+``(seed, i)`` — each index keys its own RNG substream
+(:func:`substream_seed`), so the population is byte-identical however
+the fleet is split across shards, workers, or machines, and any host
+can be re-derived without drawing its predecessors.  That is what lets
+:meth:`FleetSampler.run_aggregate` stream a million hosts through a
+bounded window (:func:`repro.core.parallel.run_stream`), fold each
+outcome into a constant-memory
+:class:`~repro.workload.fleet_agg.FleetAggregate`, checkpoint shard
+cursors atomically, and resume a SIGKILLed run to the identical
+answer.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.core.config import (
     CpuConfig,
@@ -30,8 +44,31 @@ from repro.core.config import (
     SimConfig,
     WorkloadConfig,
 )
+from repro.workload.fleet_agg import (
+    FleetAggregate,
+    FleetCheckpoint,
+    shard_bounds,
+)
 
-__all__ = ["FleetSample", "FleetSampler"]
+__all__ = ["FleetSample", "FleetSampler", "substream_seed"]
+
+#: (hosts_done, hosts_total) — invoked after every folded host.
+ProgressFn = Callable[[int, int], None]
+#: Lifecycle-event sink, as in :mod:`repro.core.parallel`.
+EventFn = Callable[[Dict], None]
+
+
+def substream_seed(seed: int, index: int) -> int:
+    """Derive host ``index``'s private RNG seed from the fleet seed.
+
+    SHA-256 over the ``(seed, index)`` pair, folded to 64 bits: the
+    substreams are statistically independent, stable across platforms
+    and Python versions (no reliance on ``hash()``), and computable
+    for any index in isolation — the property every sharding and
+    resume guarantee in this module rests on.
+    """
+    digest = hashlib.sha256(f"fleet:{seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass(frozen=True)
@@ -46,6 +83,9 @@ class FleetSample:
     antagonist_cores: int
     iommu: bool
     hugepages: bool
+    #: Sampling stratum the host was drawn from (see
+    #: :attr:`FleetSampler.STRATA`); "" on legacy-constructed samples.
+    stratum: str = ""
 
     @property
     def congestion_class(self) -> str:
@@ -67,7 +107,7 @@ class FleetSampler:
         duration: float = 8e-3,
         fidelity: str = "packet",
     ):
-        self.rng = random.Random(seed)
+        self.seed = seed
         self.warmup = warmup
         self.duration = duration
         #: Engine for every drawn host.  Stamped on the config *after*
@@ -96,7 +136,9 @@ class FleetSampler:
         return self.STRATA[-1][0]
 
     def draw_config(self, index: int) -> ExperimentConfig:
-        rng = self.rng
+        """Host ``index``'s configuration — a pure function of
+        ``(self.seed, index)``, independent of any draw order."""
+        rng = random.Random(substream_seed(self.seed, index))
         host_class = self._draw_class(index)
         iommu_on = rng.random() < 0.85
         hugepages = True
@@ -141,40 +183,200 @@ class FleetSampler:
             ),
         )
 
+    def iter_configs(self, start: int, stop: int
+                     ) -> Iterator[ExperimentConfig]:
+        """Lazily draw configs for hosts ``[start, stop)``."""
+        for index in range(start, stop):
+            yield self.draw_config(index)
+
+    def _sample_from(self, index: int, config: ExperimentConfig,
+                     result) -> FleetSample:
+        return FleetSample(
+            host_index=index,
+            link_utilization=result.metrics["link_utilization"],
+            drop_rate=result.metrics["drop_rate"],
+            transport=config.transport,
+            cores=config.host.cpu.cores,
+            antagonist_cores=config.host.antagonist_cores,
+            iommu=config.host.iommu.enabled,
+            hugepages=config.host.hugepages,
+            stratum=self._draw_class(index),
+        )
+
+    def stream(
+        self,
+        stop: int,
+        *,
+        start: int = 0,
+        workers: Union[int, str, None] = None,
+        events: Optional[EventFn] = None,
+        timeout: Optional[float] = None,
+        failures: str = "raise",
+        announce: bool = True,
+    ) -> Iterator:
+        """Stream host outcomes for indices ``[start, stop)`` in order.
+
+        Yields a :class:`FleetSample` per healthy host; under
+        ``failures="keep"`` a crashed or timed-out host yields its
+        :class:`~repro.core.results.FailedRun` instead (inspect
+        ``.kind``).  Parent memory is bounded by the in-flight window
+        of :func:`repro.core.parallel.run_stream`, never by
+        ``stop - start``.
+        """
+        from repro.core.parallel import run_stream
+
+        if announce and events is not None:
+            events({"ev": "plan", "total": stop - start,
+                    "pending": stop - start, "cached": 0,
+                    "ts": time.time()})
+        outcomes = run_stream(
+            self.iter_configs(start, stop), workers=workers,
+            events=events, failures=failures, timeout=timeout,
+            start_index=start)
+        for outcome in outcomes:
+            result = outcome.result
+            if getattr(result, "failed", False):
+                yield result
+                continue
+            # draw_config is pure in (seed, index): re-deriving the
+            # config here is cheaper than holding it across the pool.
+            yield self._sample_from(outcome.index,
+                                    self.draw_config(outcome.index),
+                                    result)
+
     def run(self, n_hosts: int,
-            progress: Optional[callable] = None,
-            workers: int | str | None = None,
-            events: Optional[callable] = None) -> List[FleetSample]:
+            progress: Optional[ProgressFn] = None,
+            workers: Union[int, str, None] = None,
+            events: Optional[EventFn] = None) -> List[FleetSample]:
         """Simulate ``n_hosts`` and return their scatter points.
 
-        ``workers`` fans the per-host simulations out to worker
-        processes.  The configs are drawn serially from the sampler's
-        RNG *before* any run starts, so the population — and therefore
-        every sample — is identical whatever the worker count.
-        ``events`` streams lifecycle telemetry, as in
-        :func:`repro.core.parallel.run_many`.
+        Thin list-materializing wrapper over :meth:`stream` — same
+        population, same order, same failure semantics (a crashed host
+        raises).  Prefer :meth:`run_aggregate` beyond a few thousand
+        hosts.
         """
-        from repro.core.parallel import run_many
-
-        configs = [self.draw_config(index) for index in range(n_hosts)]
-        outcomes = run_many(
-            configs, workers=workers, events=events,
-            progress=(None if progress is None
-                      else lambda index, _result: progress(index + 1,
-                                                           n_hosts)))
         samples: List[FleetSample] = []
-        for index, (config, outcome) in enumerate(zip(configs, outcomes)):
-            result = outcome.result
-            samples.append(
-                FleetSample(
-                    host_index=index,
-                    link_utilization=result.metrics["link_utilization"],
-                    drop_rate=result.metrics["drop_rate"],
-                    transport=config.transport,
-                    cores=config.host.cpu.cores,
-                    antagonist_cores=config.host.antagonist_cores,
-                    iommu=config.host.iommu.enabled,
-                    hugepages=config.host.hugepages,
-                )
-            )
+        for sample in self.stream(n_hosts, workers=workers,
+                                  events=events, failures="raise"):
+            samples.append(sample)
+            if progress is not None:
+                progress(len(samples), n_hosts)
         return samples
+
+    def run_aggregate(
+        self,
+        n_hosts: int,
+        *,
+        shards: int = 1,
+        shard_index: Optional[int] = None,
+        workers: Union[int, str, None] = None,
+        events: Optional[EventFn] = None,
+        progress: Optional[ProgressFn] = None,
+        checkpoint: Union[str, None] = None,
+        resume: bool = False,
+        checkpoint_every: int = 2000,
+        timeout: Optional[float] = None,
+        alpha: float = 0.01,
+        stop_after_shard: Optional[int] = None,
+    ) -> FleetAggregate:
+        """Stream the fleet shard-by-shard into a merged aggregate.
+
+        The constant-memory fleet driver: hosts ``[0, n_hosts)`` are
+        split into contiguous shards
+        (:func:`~repro.workload.fleet_agg.shard_bounds`), each shard
+        streams through a bounded worker window, and every outcome is
+        folded into that shard's
+        :class:`~repro.workload.fleet_agg.FleetAggregate` and dropped.
+        Failures are *kept* (folded via ``add_failed``) — one bad host
+        cannot sink a million-host run.
+
+        With ``checkpoint`` set, progress is snapshotted atomically
+        every ``checkpoint_every`` folded hosts and at every shard
+        boundary; ``resume=True`` reloads the snapshot (refusing a
+        mismatched population) and continues from each shard's cursor
+        — the final aggregate is identical to an uninterrupted run's,
+        because folds happen in index order and every fold/merge in
+        the aggregate is associative.  ``shard_index`` restricts the
+        run to one shard (the multi-machine path: each node runs its
+        shard against its own checkpoint, then ``repro fleet merge``
+        combines them).  ``stop_after_shard=k`` exits after shard
+        ``k`` completes — a deterministic stand-in for a mid-run kill
+        in tests.
+        """
+        bounds = shard_bounds(n_hosts, shards)
+        meta = {"seed": self.seed, "n_hosts": n_hosts,
+                "shards": len(bounds), "fidelity": self.fidelity,
+                "warmup": self.warmup, "duration": self.duration,
+                "alpha": alpha}
+
+        ckpt: Optional[FleetCheckpoint] = None
+        if checkpoint is not None:
+            from pathlib import Path
+            if resume and Path(checkpoint).exists():
+                ckpt = FleetCheckpoint.load(checkpoint)
+                ckpt.check_meta(meta)
+            else:
+                ckpt = FleetCheckpoint.fresh(checkpoint, meta, bounds,
+                                             alpha=alpha)
+                ckpt.save()
+        else:
+            ckpt = FleetCheckpoint.fresh("", meta, bounds, alpha=alpha)
+
+        if shard_index is not None:
+            if not 0 <= shard_index < len(bounds):
+                raise ValueError(
+                    f"shard_index {shard_index} out of range for "
+                    f"{len(bounds)} shards")
+            todo = [shard_index]
+        else:
+            todo = list(range(len(bounds)))
+
+        done_hosts = sum(record["cursor"] - bounds[shard][0]
+                         for shard, record in ckpt.shards.items())
+        if events is not None:
+            events({"ev": "plan", "total": n_hosts,
+                    "pending": n_hosts - done_hosts,
+                    "cached": 0, "ts": time.time()})
+
+        persist = checkpoint is not None
+        for shard in todo:
+            record = ckpt.shards[shard]
+            start, stop = bounds[shard]
+            if record["done"]:
+                continue
+            cursor = record["cursor"]
+            if events is not None:
+                events({"ev": "shard", "shard": shard, "start": start,
+                        "stop": stop, "cursor": cursor,
+                        "ts": time.time()})
+            aggregate = record["aggregate"]
+            since_save = 0
+            for item in self.stream(stop, start=cursor,
+                                    workers=workers, events=events,
+                                    timeout=timeout, failures="keep",
+                                    announce=False):
+                if isinstance(item, FleetSample):
+                    aggregate.add(item)
+                else:
+                    aggregate.add_failed(item)
+                cursor += 1
+                done_hosts += 1
+                since_save += 1
+                record["cursor"] = cursor
+                if progress is not None:
+                    progress(done_hosts, n_hosts)
+                if persist and since_save >= checkpoint_every:
+                    ckpt.save()
+                    since_save = 0
+            record["done"] = True
+            record["cursor"] = stop
+            if persist:
+                ckpt.save()
+            if events is not None:
+                events({"ev": "shard", "shard": shard, "start": start,
+                        "stop": stop, "cursor": stop, "done": True,
+                        "ts": time.time()})
+            if stop_after_shard is not None and shard >= stop_after_shard:
+                break
+
+        return ckpt.merged()

@@ -205,6 +205,46 @@ def test_fleet_workers_flag(capsys):
     assert "hosts dropping" in capsys.readouterr().out
 
 
+def test_fleet_sharded_checkpoint_resume_and_merge(tmp_path, capsys):
+    """The streaming flags end to end: sharded checkpointed run,
+    deterministic stop, resume, and aggregate merge."""
+    checkpoint = tmp_path / "fleet.ckpt.json"
+    clean_json = tmp_path / "clean.json"
+    resumed_json = tmp_path / "resumed.json"
+    merged_json = tmp_path / "merged.json"
+    base = ["fleet", "--hosts", "12", "--fidelity", "fluid",
+            "--warmup-ms", "0.5", "--duration-ms", "1"]
+
+    assert main([*base, "--json-out", str(clean_json)]) == 0
+    assert main([*base, "--shards", "3",
+                 "--checkpoint", str(checkpoint),
+                 "--stop-after-shard", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoint:" in out
+    assert main([*base, "--shards", "3",
+                 "--checkpoint", str(checkpoint), "--resume",
+                 "--json-out", str(resumed_json)]) == 0
+    assert "hosts dropping" in capsys.readouterr().out
+
+    from repro.workload.fleet_agg import FleetAggregate
+
+    clean = FleetAggregate.from_dict(
+        json.loads(clean_json.read_text()))
+    resumed = FleetAggregate.from_dict(
+        json.loads(resumed_json.read_text()))
+    assert resumed == clean
+    assert clean.hosts == 12
+
+    # merge accepts aggregate JSON and checkpoint files alike.
+    assert main(["fleet", "merge", str(resumed_json),
+                 str(checkpoint), "--json-out",
+                 str(merged_json)]) == 0
+    assert "merged 2 shard summaries" in capsys.readouterr().out
+    merged = FleetAggregate.from_dict(
+        json.loads(merged_json.read_text()))
+    assert merged.hosts == 24  # both inputs cover the same 12 hosts
+
+
 # ---------------------------------------------------------------------------
 # scenario subcommand
 # ---------------------------------------------------------------------------

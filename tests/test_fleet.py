@@ -1,7 +1,22 @@
-"""Tests for the Figure-1 fleet sampler."""
+"""Tests for the Figure-1 fleet sampler and its streaming pipeline."""
 
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
-from repro.workload.fleet import FleetSample, FleetSampler
+import pytest
+
+from repro.workload.fleet import FleetSample, FleetSampler, substream_seed
+from repro.workload.fleet_agg import (
+    FleetAggregate,
+    FleetCheckpoint,
+    density_rank_correlation,
+    shard_bounds,
+)
 
 
 def test_draws_are_deterministic_for_seed():
@@ -40,6 +55,241 @@ def test_progress_callback():
     seen = []
     sampler.run(2, progress=lambda done, total: seen.append((done, total)))
     assert seen == [(1, 2), (2, 2)]
+
+
+def test_substream_seeds_are_stable_and_distinct():
+    # Pinned values: the substream derivation is part of the on-disk
+    # checkpoint contract — changing it silently would make every
+    # resumed population diverge from its checkpoint.
+    assert substream_seed(7, 0) == substream_seed(7, 0)
+    seeds = {substream_seed(7, i) for i in range(1000)}
+    assert len(seeds) == 1000
+    assert substream_seed(7, 3) != substream_seed(8, 3)
+
+
+def test_draw_config_is_order_independent():
+    sampler = FleetSampler(seed=11)
+    forward = [sampler.draw_config(i).describe() for i in range(12)]
+    backward = [FleetSampler(seed=11).draw_config(i).describe()
+                for i in reversed(range(12))]
+    assert forward == list(reversed(backward))
+
+
+def test_shard_bounds_partition_exactly():
+    for n_hosts in (0, 1, 7, 100):
+        for shards in (1, 2, 3, 4, 9):
+            bounds = shard_bounds(n_hosts, shards)
+            covered = [i for start, stop in bounds
+                       for i in range(start, stop)]
+            assert covered == list(range(n_hosts)), (n_hosts, shards)
+
+
+class TestStreaming:
+    def sampler(self):
+        # Fluid fidelity: the streaming-scale engine, and fast enough
+        # to run dozens of hosts per test.
+        return FleetSampler(seed=5, warmup=0.5e-3, duration=1e-3,
+                            fidelity="fluid")
+
+    def test_run_equals_stream_fold_order(self):
+        sampler = self.sampler()
+        assert sampler.run(8) == list(sampler.stream(8))
+
+    def test_stream_carries_stratum_and_index(self):
+        sampler = self.sampler()
+        samples = list(sampler.stream(6))
+        assert [s.host_index for s in samples] == list(range(6))
+        assert all(s.stratum in dict(FleetSampler.STRATA)
+                   for s in samples)
+
+    def test_aggregate_identical_across_shards_and_workers(self):
+        sampler = self.sampler()
+        reference = sampler.run_aggregate(24)
+        for shards in (2, 4):
+            for workers in (1, 4):
+                aggregate = sampler.run_aggregate(24, shards=shards,
+                                                  workers=workers)
+                assert aggregate == reference, (shards, workers)
+        assert reference.hosts == 24
+        assert reference.strata.total == 24
+
+    def test_aggregate_matches_folded_run(self):
+        sampler = self.sampler()
+        folded = FleetAggregate()
+        for sample in sampler.run(16):
+            folded.add(sample)
+        assert folded == sampler.run_aggregate(16, shards=2)
+
+    def test_stop_after_shard_then_resume_equals_clean(self, tmp_path):
+        sampler = self.sampler()
+        clean = sampler.run_aggregate(20, shards=4)
+        checkpoint = tmp_path / "fleet.ckpt.json"
+        partial = sampler.run_aggregate(20, shards=4,
+                                        checkpoint=str(checkpoint),
+                                        stop_after_shard=1)
+        assert partial.hosts == 10  # shards 0 and 1 of 4
+        resumed = sampler.run_aggregate(20, shards=4,
+                                        checkpoint=str(checkpoint),
+                                        resume=True)
+        assert resumed == clean
+
+    def test_resume_refuses_population_mismatch(self, tmp_path):
+        checkpoint = tmp_path / "fleet.ckpt.json"
+        self.sampler().run_aggregate(8, shards=2,
+                                     checkpoint=str(checkpoint),
+                                     stop_after_shard=0)
+        with pytest.raises(ValueError, match="meta mismatch"):
+            FleetSampler(seed=99, fidelity="fluid").run_aggregate(
+                8, shards=2, checkpoint=str(checkpoint), resume=True)
+
+    def test_checkpoint_roundtrip_and_merge(self, tmp_path):
+        sampler = self.sampler()
+        checkpoint = tmp_path / "fleet.ckpt.json"
+        sampler.run_aggregate(12, shards=3,
+                              checkpoint=str(checkpoint))
+        loaded = FleetCheckpoint.load(checkpoint)
+        assert all(record["done"]
+                   for record in loaded.shards.values())
+        assert loaded.merged() == sampler.run_aggregate(12)
+
+    def test_shard_index_runs_only_that_shard(self):
+        sampler = self.sampler()
+        parts = [sampler.run_aggregate(12, shards=3, shard_index=k)
+                 for k in range(3)]
+        assert [p.hosts for p in parts] == [4, 4, 4]
+        merged = FleetAggregate()
+        for part in parts:
+            merged.merge(part)
+        assert merged == sampler.run_aggregate(12)
+
+    def test_sigkill_then_resume_equals_clean(self, tmp_path):
+        """A real mid-run kill: SIGKILL the child once the checkpoint
+        shows progress, then resume to the clean answer."""
+        sampler = self.sampler()
+        clean = sampler.run_aggregate(16, shards=4)
+        checkpoint = tmp_path / "fleet.ckpt.json"
+        child_src = (
+            "from repro.workload.fleet import FleetSampler\n"
+            "FleetSampler(seed=5, warmup=0.5e-3, duration=1e-3,\n"
+            "             fidelity='fluid').run_aggregate(\n"
+            "    16, shards=4, checkpoint=%r, checkpoint_every=1)\n"
+            % str(checkpoint))
+        env = {**os.environ,
+               "PYTHONPATH": str(Path(__file__).resolve().parent.parent
+                                 / "src")}
+        victim = subprocess.Popen(
+            [sys.executable, "-c", child_src], env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 60
+            progressed = False
+            while time.monotonic() < deadline and not progressed:
+                if victim.poll() is not None:
+                    break  # finished before we could kill: still fine
+                try:
+                    state = json.loads(checkpoint.read_text())
+                    progressed = any(
+                        record["cursor"] > shard_bounds(16, 4)[int(k)][0]
+                        for k, record in state["shards"].items())
+                except (FileNotFoundError, json.JSONDecodeError):
+                    pass
+                time.sleep(0.01)
+        finally:
+            if victim.poll() is None:
+                victim.send_signal(signal.SIGKILL)
+            victim.wait()
+        resumed = sampler.run_aggregate(16, shards=4,
+                                        checkpoint=str(checkpoint),
+                                        resume=True)
+        assert resumed == clean
+
+
+class TestFleetAggregate:
+    def sample(self, **kwargs):
+        defaults = dict(host_index=0, link_utilization=0.5,
+                        drop_rate=0.01, transport="swift", cores=12,
+                        antagonist_cores=0, iommu=True,
+                        hugepages=True, stratum="lean")
+        defaults.update(kwargs)
+        return FleetSample(**defaults)
+
+    def test_counters_and_fractions(self):
+        aggregate = FleetAggregate()
+        aggregate.add(self.sample(link_utilization=0.95,
+                                  drop_rate=0.01))
+        aggregate.add(self.sample(link_utilization=0.3,
+                                  drop_rate=0.0))
+        aggregate.add(self.sample(link_utilization=0.4,
+                                  drop_rate=0.02))
+        assert aggregate.hosts == 3
+        assert aggregate.droppers == 2
+        assert aggregate.low_util_droppers == 1
+        assert aggregate.drop_fraction_high_util == 1.0
+        assert aggregate.drop_fraction_low_util == 0.5
+        assert aggregate.dropper_fraction == pytest.approx(2 / 3)
+
+    def test_merge_is_associative_and_commutative(self):
+        parts = []
+        for offset in range(3):
+            part = FleetAggregate()
+            for i in range(4):
+                part.add(self.sample(
+                    host_index=offset * 4 + i,
+                    link_utilization=0.1 * (offset * 4 + i),
+                    drop_rate=0.001 * i))
+            parts.append(part)
+        left = FleetAggregate()
+        for part in parts:
+            left.merge(part)
+        right = FleetAggregate()
+        for part in reversed(parts):
+            right.merge(part)
+        assert left == right
+        assert left.hosts == 12
+
+    def test_merge_rejects_alpha_mismatch(self):
+        with pytest.raises(ValueError, match="alpha"):
+            FleetAggregate(alpha=0.01).merge(FleetAggregate(alpha=0.1))
+
+    def test_serialization_roundtrip(self):
+        aggregate = FleetAggregate()
+        for i in range(10):
+            aggregate.add(self.sample(host_index=i,
+                                      link_utilization=0.1 * i,
+                                      drop_rate=0.005 * (i % 3)))
+        restored = FleetAggregate.from_dict(
+            json.loads(json.dumps(aggregate.to_dict())))
+        assert restored == aggregate
+        assert restored.stratum_median(
+            "lean", "link_utilization") == pytest.approx(
+                aggregate.stratum_median("lean", "link_utilization"))
+
+    def test_rank_correlation_sign(self):
+        positive = FleetAggregate()
+        for i in range(40):
+            positive.add(self.sample(host_index=i,
+                                     link_utilization=i / 40,
+                                     drop_rate=1e-5 * (1 + i)))
+        assert positive.rank_correlation() > 0.9
+        negative = FleetAggregate()
+        for i in range(40):
+            negative.add(self.sample(host_index=i,
+                                     link_utilization=i / 40,
+                                     drop_rate=1e-5 * (41 - i)))
+        assert negative.rank_correlation() < -0.9
+        assert density_rank_correlation(
+            FleetAggregate().density) == 0.0
+
+    def test_failed_hosts_are_counted_not_folded(self):
+        class Failed:
+            kind = "timeout"
+
+        aggregate = FleetAggregate()
+        aggregate.add(self.sample())
+        aggregate.add_failed(Failed())
+        assert aggregate.hosts == 1
+        assert aggregate.failed == 1
+        assert aggregate.failure_kinds.get("timeout") == 1
 
 
 class TestCongestionClass:

@@ -94,6 +94,22 @@ def test_fleet_shapes_agree():
     _assert_agrees(report)
 
 
+def test_fleet_aggregates_agree():
+    """The streaming-aggregate contract on the same shrunk fleet: the
+    path `repro fleet` and CI's fluid-xval actually exercise."""
+    def run(fidelity):
+        sampler = FleetSampler(seed=7, warmup=1e-3, duration=3e-3,
+                               fidelity=fidelity)
+        return sampler.run_aggregate(24, shards=2)
+
+    report = xval.compare_fleet_aggregate("shrunk_fleet_agg",
+                                          run("packet"), run("fluid"))
+    _assert_agrees(report)
+    # Per-stratum checks actually ran: 4 strata in a 24-host draw.
+    points = {d.point for d in report.disagreements}
+    assert report.checks >= 3 + 2 * len(FleetSampler.STRATA), points
+
+
 # -- contract unit checks (no simulation) --------------------------------
 
 

@@ -21,6 +21,7 @@ from repro.core.parallel import (
     SweepRunError,
     resolve_workers,
     run_many,
+    run_stream,
 )
 from repro.core.results import FailedRun
 from repro.core.sweep import (
@@ -180,3 +181,74 @@ class TestRunMany:
         assert outcome.snapshot is None
         (outcome,) = run_many([tiny_config()], want_snapshots=True)
         assert "meta" in outcome.snapshot
+
+
+class TestRunStream:
+    def test_matches_run_many_serial_and_pooled(self):
+        configs = [tiny_config(seed=s) for s in (3, 4, 5, 6)]
+        reference = [(o.index, o.result)
+                     for o in run_many(list(configs))]
+        serial = [(o.index, o.result)
+                  for o in run_stream(iter(configs))]
+        pooled = [(o.index, o.result)
+                  for o in run_stream(iter(configs), workers=2)]
+        assert serial == reference
+        assert pooled == reference
+
+    def test_consumes_configs_lazily(self):
+        """The config iterable must be drawn incrementally: at most
+        the in-flight window ahead of what has been yielded."""
+        drawn = []
+
+        def configs():
+            for seed in range(3, 11):
+                drawn.append(seed)
+                yield tiny_config(seed=seed)
+
+        stream = run_stream(configs(), workers=2, window=2)
+        first = next(stream)
+        assert first.index == 0
+        # window=2 is clamped to n_workers=2; one yielded + at most
+        # the window drawn ahead.
+        assert len(drawn) <= 4
+        rest = list(stream)
+        assert len(rest) == 7
+        assert len(drawn) == 8
+
+    def test_start_index_offsets_outcomes(self):
+        configs = [tiny_config(seed=s) for s in (3, 4)]
+        outcomes = list(run_stream(iter(configs), start_index=10))
+        assert [o.index for o in outcomes] == [10, 11]
+
+    def test_failures_keep_yields_failed_run(self):
+        configs = [tiny_config(seed=3), crashing_config(),
+                   tiny_config(seed=4)]
+        outcomes = list(run_stream(iter(configs), failures="keep"))
+        assert len(outcomes) == 3
+        assert isinstance(outcomes[1].result, FailedRun)
+        assert outcomes[1].result.kind == "error"
+        assert not getattr(outcomes[0].result, "failed", False)
+
+    def test_failures_raise_aborts_with_config(self):
+        configs = [crashing_config(), tiny_config(seed=3)]
+        with pytest.raises(SweepRunError) as excinfo:
+            list(run_stream(iter(configs), failures="raise"))
+        assert excinfo.value.index == 0
+
+    def test_rejects_bad_failures_mode(self):
+        with pytest.raises(ValueError):
+            list(run_stream(iter([tiny_config()]), failures="ignore"))
+
+    def test_events_stream_lifecycle(self):
+        events = []
+        list(run_stream(iter([tiny_config(seed=3)]),
+                        events=events.append))
+        kinds = [event["ev"] for event in events]
+        assert "started" in kinds and "finished" in kinds
+
+    def test_abandoning_the_stream_stops_cleanly(self):
+        stream = run_stream(
+            (tiny_config(seed=s) for s in range(3, 30)), workers=2)
+        first = next(stream)
+        assert first.index == 0
+        stream.close()  # GeneratorExit must cancel queued work

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from repro.obs.sketch import CategoryTally, QuantileSketch
+from repro.obs.sketch import CategoryTally, Density2D, QuantileSketch
 
 ALPHA = 0.01
 
@@ -233,3 +233,82 @@ class TestCategoryTally:
     def test_round_trip_and_equality(self):
         tally = CategoryTally({"iommu": 2, "memory-bus": 1})
         assert CategoryTally.from_dict(tally.to_dict()) == tally
+
+
+class TestDensity2D:
+    def test_observe_and_total(self):
+        grid = Density2D()
+        grid.observe(0.5, 1e-3)
+        grid.observe(0.5, 1e-3, n=2)
+        grid.observe(0.9, 0.0)  # zero bin
+        assert grid.total == 4
+        assert len(grid) == 2
+
+    def test_zero_bin_and_midpoints(self):
+        grid = Density2D()
+        grid.observe(0.25, 0.0)
+        ((xi, yi), count), = grid.cells()
+        assert yi == Density2D.ZERO_BIN
+        assert grid.y_mid(yi) == 0.0
+        assert 0.2 <= grid.x_mid(xi) <= 0.3
+        assert count == 1
+
+    def test_log_binning_resolution(self):
+        # One decade apart must land in different bins; within ~1/8
+        # decade may share one.
+        grid = Density2D()
+        grid.observe(0.5, 1e-4)
+        grid.observe(0.5, 1e-3)
+        assert len(grid) == 2
+
+    def test_out_of_range_values_clamp(self):
+        grid = Density2D()
+        grid.observe(-5.0, 1e-3)   # below x_min
+        grid.observe(99.0, 1e-3)   # above x_max
+        grid.observe(0.5, 99.0)    # above y_ceil
+        grid.observe(0.5, 1e-30)   # below y_floor -> zero bin
+        assert grid.total == 4
+        for x, y, _count in grid.points():
+            assert 0.0 <= x <= 1.1
+            assert 0.0 <= y <= 1.0
+
+    def test_rejects_non_finite(self):
+        grid = Density2D()
+        with pytest.raises(ValueError):
+            grid.observe(float("nan"), 1e-3)
+        with pytest.raises(ValueError):
+            grid.observe(0.5, float("inf"))
+
+    def test_merge_is_exact_cell_addition(self):
+        a, b, both = Density2D(), Density2D(), Density2D()
+        rng = random.Random(3)
+        for i in range(200):
+            x = rng.random()
+            y = rng.choice((0.0, 10 ** -rng.uniform(1, 6)))
+            (a if i % 2 else b).observe(x, y)
+            both.observe(x, y)
+        assert a.merge(b) == both
+
+    def test_merge_rejects_mismatched_grids(self):
+        with pytest.raises(ValueError):
+            Density2D(x_bins=44).merge(Density2D(x_bins=10))
+
+    def test_round_trip_and_equality(self):
+        grid = Density2D()
+        rng = random.Random(5)
+        for _ in range(100):
+            grid.observe(rng.random(), 10 ** -rng.uniform(0, 7))
+        import json
+        restored = Density2D.from_dict(
+            json.loads(json.dumps(grid.to_dict())))
+        assert restored == grid
+
+    def test_count_where_predicates_on_midpoints(self):
+        grid = Density2D()
+        grid.observe(0.2, 1e-2)
+        grid.observe(0.9, 1e-2)
+        grid.observe(0.9, 0.0)
+        low = grid.count_where(lambda x: x < 0.5, lambda y: True)
+        droppers = grid.count_where(lambda x: True, lambda y: y > 1e-4)
+        assert low == 1
+        assert droppers == 2
