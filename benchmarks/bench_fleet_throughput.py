@@ -1,0 +1,79 @@
+"""Fleet throughput contract: the batched fluid backend must stay an
+order of magnitude faster than the scalar one.
+
+PR 9's tentpole (:class:`repro.sim.fluid_batch.BatchFluidSolver` plus
+cohort-ranged fleet execution) exists to turn the million-host Figure 1
+run from hours into minutes.  This bench runs the *same* figure-1
+population (default ``FleetSampler`` warmup/duration, identical seed)
+through both backends single-worker and asserts the hosts/s ratio stays
+at or above the 10x floor from ISSUE 9 — measured ~13-14x at batch
+size 8192, so the floor leaves room for runner noise without letting
+the batch degrade into a second scalar path.
+
+The batched wall time also lands in ``benchmarks/baseline.json`` via
+``scripts/check_bench_regression.py`` (GATED_PREFIXES), so a slowdown
+in the vectorized step, the cohort grouper, or the in-worker config
+rebuild trips the same gate as a kernel regression.
+
+Both measurements use ``workers=1``: the ratio under test is the
+per-process execution model (array stepping + range tasks vs one
+Python solver + one pool task per host), not pool scaling, and a
+single-process A/B keeps the bench deterministic on shared runners.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.workload.fleet import FleetSampler
+
+#: Floor on single-worker hosts/s (batched / scalar) over the default
+#: figure-1 fleet population.  ISSUE 9's acceptance bar.
+MIN_RATIO = 10.0
+
+#: Scalar hosts measured: enough for a stable per-host cost (the
+#: population repeats every 20 indices) while keeping the A-leg a
+#: ~1 s run.
+SCALAR_HOSTS = 384
+
+#: Batched hosts and batch size: one full-size chunk, large enough to
+#: amortize per-chunk overheads (config rebuild, solver harvest,
+#: aggregate fold) the way a million-host run would.
+BATCHED_HOSTS = 8192
+
+
+def _hosts_per_s(n_hosts: int, backend: str, batch_size: int) -> float:
+    sampler = FleetSampler(fidelity="fluid")
+    start = time.perf_counter()
+    aggregate = sampler.run_aggregate(
+        n_hosts, workers=1, backend=backend, batch_size=batch_size)
+    elapsed = time.perf_counter() - start
+    assert aggregate.hosts == n_hosts
+    return n_hosts / elapsed
+
+
+def test_fleet_throughput_batched_vs_scalar(benchmark):
+    """Batched fluid fleet must sustain >=10x scalar hosts/s.
+
+    The gated (baseline.json) quantity is the batched run's wall
+    time; the measured ratio and both absolute rates land in
+    ``extra_info`` so README numbers stay reproducible.
+    """
+    scalar_rate = _hosts_per_s(SCALAR_HOSTS, "scalar", BATCHED_HOSTS)
+    batched_rate = _hosts_per_s(BATCHED_HOSTS, "batched", BATCHED_HOSTS)
+    ratio = batched_rate / scalar_rate
+
+    benchmark.extra_info["scalar_hosts_per_s"] = round(scalar_rate)
+    benchmark.extra_info["batched_hosts_per_s"] = round(batched_rate)
+    benchmark.extra_info["ratio_x"] = round(ratio, 1)
+    print(f"\nfleet throughput (figure-1 population, workers=1): "
+          f"scalar {scalar_rate:.0f} hosts/s vs batched "
+          f"{batched_rate:.0f} hosts/s = {ratio:.1f}x")
+    assert ratio >= MIN_RATIO, (
+        f"batched fluid fleet is only {ratio:.1f}x scalar "
+        f"({batched_rate:.0f} vs {scalar_rate:.0f} hosts/s, "
+        f"floor {MIN_RATIO}x)")
+
+    benchmark.pedantic(
+        lambda: _hosts_per_s(BATCHED_HOSTS, "batched", BATCHED_HOSTS),
+        rounds=1, iterations=1)

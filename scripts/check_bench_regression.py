@@ -37,10 +37,11 @@ BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.jso
 #: "free when off, cheap when on" contract of the sampler and ledger;
 #: the fluid bench guards the >=25x fluid-vs-packet speedup contract;
 #: the fleet-memory bench guards the streaming pipeline's
-#: RSS-independent-of-host-count contract.
+#: RSS-independent-of-host-count contract; the fleet-throughput bench
+#: guards the >=10x batched-vs-scalar fluid fleet contract.
 GATED_PREFIXES = ("bench_engine_micro", "bench_fig3_iommu",
-                  "bench_fleet_memory", "bench_fluid_speedup",
-                  "bench_telemetry_overhead")
+                  "bench_fleet_memory", "bench_fleet_throughput",
+                  "bench_fluid_speedup", "bench_telemetry_overhead")
 
 
 def load_medians(path: Path) -> Dict[str, float]:

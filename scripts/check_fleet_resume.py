@@ -44,6 +44,8 @@ def fleet_cmd(args: argparse.Namespace, extra: list) -> list:
     return [sys.executable, "-m", "repro", "fleet",
             "--hosts", str(args.hosts), "--shards", str(args.shards),
             "--seed", str(args.seed), "--fidelity", args.fidelity,
+            "--backend", args.backend,
+            "--batch-size", str(args.batch_size),
             *extra]
 
 
@@ -77,6 +79,14 @@ def main(argv=None) -> int:
     parser.add_argument("--shards", default="2")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--fidelity", default="fluid")
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "batched", "scalar"),
+                        help="fleet execution backend under test "
+                             "(auto = batched for fluid)")
+    parser.add_argument("--batch-size", type=int, default=4096,
+                        help="hosts per batched chunk — small values "
+                             "give the victim run intra-shard "
+                             "checkpoint granularity")
     parser.add_argument("--kill-timeout", type=float, default=120.0,
                         help="seconds to wait for shard 1 before "
                              "killing anyway")

@@ -55,12 +55,24 @@ def cross_validate(spec: ScenarioSpec, quality: Optional[str],
     if spec.driver == "fleet":
         # Fleet specs cross-validate through the streaming aggregate
         # pipeline — the path `repro fleet` actually runs at scale.
+        # The fluid leg uses the default backend ("auto" = the
+        # cohort-batched solver), so the packet-vs-fluid contract is
+        # checked against the backend production runs use; a second
+        # scalar fluid leg then pins the batched backend to exact
+        # aggregate equality (xval.compare_fleet_backends).
         packet = spec.run_fleet_aggregate(quality=quality,
                                           fidelity="packet",
                                           workers=workers)
         fluid = spec.run_fleet_aggregate(quality=quality,
                                          fidelity="fluid")
-        return xval.compare_fleet_aggregate(spec.name, packet, fluid)
+        report = xval.compare_fleet_aggregate(spec.name, packet, fluid)
+        scalar_fluid = spec.run_fleet_aggregate(
+            quality=quality, fidelity="fluid", backend="scalar")
+        backends = xval.compare_fleet_backends(spec.name, scalar_fluid,
+                                               fluid)
+        report.checks += backends.checks
+        report.disagreements.extend(backends.disagreements)
+        return report
     packet = spec.run(quality=quality, fidelity="packet",
                       workers=workers)
     fluid = spec.run(quality=quality, fidelity="fluid")

@@ -9,7 +9,11 @@ Each package may import its own layer and anything below it.  Three
 ``repro.core`` modules are *kernel* modules — pure-data config,
 calibration constants, and the statistics helpers — pinned to layer 0
 so every layer can import them without dragging in the experiment
-machinery.
+machinery.  The engine fidelities (``repro.sim.engine``,
+``repro.sim.fluid``, and the vectorized ``repro.sim.fluid_batch``)
+all live in ``sim`` and therefore sit at layer 0 themselves: their
+only legal ``repro`` imports are kernel modules and ``sim``
+neighbours (tests/test_layering.py pins each one by AST walk).
 
 Only module-level imports count: a function-scope import is a
 deliberate lazy edge (e.g. ``repro.workload.fleet`` pulling in the

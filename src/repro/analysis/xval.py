@@ -55,6 +55,7 @@ __all__ = [
     "compare_day",
     "compare_fleet",
     "compare_fleet_aggregate",
+    "compare_fleet_backends",
     "compare_isolation",
     "compare_sweep",
     "drop_onset",
@@ -335,6 +336,42 @@ def compare_fleet_aggregate(scenario: str, packet,
             "stratum-median-util", point,
             f"median link utilization: packet {p_med:.2f} vs fluid "
             f"{f_med:.2f} (tolerance {STRATUM_UTIL_TOLERANCE})")
+    return report
+
+
+def compare_fleet_backends(scenario: str, scalar,
+                           batched) -> AgreementReport:
+    """Scalar-vs-batched fluid fleet equivalence — an *exactness*
+    contract, not a tolerance one.
+
+    The cohort-batched backend
+    (:class:`~repro.sim.fluid_batch.BatchFluidSolver` over index
+    ranges) promises the *same* per-host outcomes as the scalar fluid
+    path, so the two :class:`~repro.workload.fleet_agg.FleetAggregate`
+    objects must compare equal under the aggregate's own ``__eq__``
+    (exact counters, exact sketch buckets).  When they do not, the
+    targeted checks below name which layer drifted: a population
+    mismatch means the in-worker config rebuild diverged from the
+    ``(seed, i)`` substreams; a counter mismatch with matching
+    populations means the vectorized step left the scalar trajectory.
+    """
+    report = AgreementReport(scenario=scenario)
+    report.check(scalar.hosts == batched.hosts
+                 and scalar.failed == batched.failed, "population", "-",
+                 f"{scalar.hosts} scalar hosts ({scalar.failed} "
+                 f"failed) vs {batched.hosts} batched "
+                 f"({batched.failed} failed)")
+    report.check(scalar.droppers == batched.droppers, "droppers", "-",
+                 f"scalar {scalar.droppers} dropping hosts vs "
+                 f"batched {batched.droppers} (must match exactly)")
+    report.check(
+        scalar.root_causes.to_dict() == batched.root_causes.to_dict(),
+        "root-causes", "-",
+        f"scalar {scalar.root_causes.to_dict()} vs batched "
+        f"{batched.root_causes.to_dict()}")
+    report.check(scalar == batched, "aggregate-equality", "-",
+                 "FleetAggregate.__eq__ must hold between the scalar "
+                 "and batched fluid backends for the same seed")
     return report
 
 

@@ -561,6 +561,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                            warmup=args.warmup_ms * 1e-3,
                            duration=args.duration_ms * 1e-3,
                            fidelity=args.fidelity or "packet")
+    backend = sampler.resolve_backend(args.backend)
     checkpoint = _fleet_checkpoint_path(args)
     telemetry = _Telemetry(args, label="fleet")
     start = time.perf_counter()
@@ -570,24 +571,36 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             shard_index=args.shard_index, workers=args.workers,
             events=telemetry.sink, checkpoint=checkpoint,
             resume=args.resume, checkpoint_every=args.checkpoint_every,
-            stop_after_shard=args.stop_after_shard)
+            stop_after_shard=args.stop_after_shard,
+            backend=backend, batch_size=args.batch_size)
     except BaseException:
         telemetry.finish(ok=False)
         raise
     telemetry.finish()
     elapsed = time.perf_counter() - start
+    hosts_per_s = aggregate.hosts / elapsed if elapsed > 0 else 0.0
     print(scatter_plot(aggregate.scatter_points(),
                        title="fleet drop rate vs utilization",
                        x_label="link utilization", y_label="drop rate"))
     for line in aggregate.format_lines():
         print(line)
     print(f"\n{aggregate.droppers}/{aggregate.hosts} hosts dropping "
-          f"({elapsed:.1f}s wall)")
+          f"({elapsed:.1f}s wall, {hosts_per_s:.0f} hosts/s, "
+          f"{sampler.fidelity}/{backend})")
     if checkpoint is not None:
         print(f"checkpoint: {checkpoint}")
     if args.json_out:
-        Path(args.json_out).write_text(
-            json.dumps(aggregate.to_dict()))
+        # Extra keys are ignored by FleetAggregate.from_dict, so the
+        # file stays directly loadable by ``repro fleet merge`` while
+        # making every quoted throughput number self-describing.
+        state = aggregate.to_dict()
+        state["run_info"] = {
+            "fidelity": sampler.fidelity, "backend": backend,
+            "hosts_per_s": round(hosts_per_s, 1),
+            "elapsed_s": round(elapsed, 3),
+            "batch_size": args.batch_size, "workers": args.workers,
+        }
+        Path(args.json_out).write_text(json.dumps(state))
         print(f"aggregate: {args.json_out}")
     return 0
 
@@ -922,6 +935,15 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=_fidelity_choices(),
                          help="engine for every host (fluid scales to "
                               "millions; default packet)")
+    p_fleet.add_argument("--backend", default="auto",
+                         choices=("auto", "batched", "scalar"),
+                         help="fleet execution backend (auto = "
+                              "cohort-batched numpy solver for fluid "
+                              "fleets, scalar otherwise)")
+    p_fleet.add_argument("--batch-size", type=int, default=4096,
+                         metavar="N",
+                         help="hosts per batched solver chunk "
+                              "(default 4096)")
     p_fleet.add_argument("--shards", default="1", metavar="N|auto",
                          help="checkpoint granules ('auto' = one per "
                               f"{_HOSTS_PER_SHARD} hosts)")

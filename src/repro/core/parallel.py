@@ -75,6 +75,7 @@ from repro.core.results import ExperimentResult, FailedRun
 __all__ = [
     "RunOutcome",
     "SweepRunError",
+    "map_stream",
     "resolve_workers",
     "run_many",
     "run_stream",
@@ -544,3 +545,76 @@ def run_stream(
     finally:
         if manager is not None:
             manager.shutdown()
+
+
+def map_stream(
+    fn: Callable,
+    tasks: Iterable[tuple],
+    *,
+    workers: Workers = None,
+    window: Optional[int] = None,
+) -> Iterator[Tuple[int, object]]:
+    """Stream ``fn(*args)`` results over a lazy task sequence, in order.
+
+    The task-shaped sibling of :func:`run_stream`, for callers whose
+    unit of work is *not* one experiment config — e.g. the batched
+    fleet backend, whose tasks are whole index ranges.  ``fn`` must be
+    a module-level (picklable) callable and ``tasks`` an iterable of
+    argument tuples; yields ``(position, fn(*args))`` in submission
+    order with at most ``window`` tasks in flight or buffered
+    (default ``2 * workers``), so parent memory is bounded by the
+    window, never the stream length.
+
+    Failure semantics are the caller's: an exception raised by ``fn``
+    propagates (aborting the pool and cancelling queued tasks), so a
+    fault-tolerant caller catches inside ``fn`` and returns a
+    structured failure value instead.
+    """
+    numbered = iter(enumerate(tasks))
+    n_workers = resolve_workers(workers)
+
+    if n_workers == 1:
+        for position, args in numbered:
+            yield position, fn(*args)
+        return
+
+    if window is None:
+        window = 2 * n_workers
+    window = max(int(window), n_workers)
+
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        in_flight: Dict = {}          # future -> position
+        ready: Dict[int, object] = {}  # position -> result
+        next_yield = 0
+        exhausted = False
+
+        def top_up() -> None:
+            nonlocal exhausted
+            while (not exhausted
+                   and len(in_flight) + len(ready) < window):
+                try:
+                    position, args = next(numbered)
+                except StopIteration:
+                    exhausted = True
+                    return
+                in_flight[pool.submit(fn, *args)] = position
+
+        try:
+            top_up()
+            while in_flight or ready:
+                if in_flight:
+                    done, _ = wait(in_flight,
+                                   return_when=FIRST_COMPLETED)
+                    for future in done:
+                        position = in_flight.pop(future)
+                        ready[position] = future.result()
+                while next_yield in ready:
+                    result = ready.pop(next_yield)
+                    position = next_yield
+                    next_yield += 1
+                    top_up()
+                    yield position, result
+                top_up()
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise

@@ -631,12 +631,18 @@ class ScenarioSpec:
         ``stream_args`` pass straight to
         :meth:`~repro.workload.fleet.FleetSampler.run_aggregate`
         (``shards=``, ``checkpoint=``, ``resume=``, ...); the spec's
-        ``driver_args.shards`` supplies the default shard count.
+        ``driver_args`` supply the default shard count, execution
+        backend (``"auto"`` = cohort-batched for fluid fleets), and
+        batch size.
         """
         sampler, spec_hosts = self.fleet_sampler(quality, base,
                                                  fidelity)
         stream_args.setdefault(
             "shards", int(self.driver_args.get("shards", 1)))
+        stream_args.setdefault(
+            "backend", str(self.driver_args.get("backend", "auto")))
+        stream_args.setdefault(
+            "batch_size", int(self.driver_args.get("batch_size", 4096)))
         return sampler.run_aggregate(
             spec_hosts if n_hosts is None else int(n_hosts),
             workers=workers, events=events, progress=progress,
@@ -783,7 +789,7 @@ def _validate_quality(raw: Any, axes: Tuple[SweepAxis, ...],
 
 _DRIVER_ARGS = {
     "sweep": set(),
-    "fleet": {"n_hosts", "seed", "shards"},
+    "fleet": {"n_hosts", "seed", "shards", "backend", "batch_size"},
     "day": {"n_bins", "schedule_seed", "base_load", "swing",
             "antagonist_peak", "bin_duration", "warmup_per_bin"},
     "isolation": set(),

@@ -81,13 +81,32 @@ LOSS_CC_AI = 1.0
 LOSS_CC_BETA = 0.7
 
 
+#: Width of the convex region of the load-latency curve.
+_KNEE_SPAN = 1.0 - QUEUE_KNEE
+
+
+def _cube(x: float) -> float:
+    """``x ** QUEUE_GAMMA`` spelled as multiplications.  ``pow`` routes
+    through libm and numpy's ``power`` through its own kernel, and the
+    two differ in the last ulp for the same input; plain multiplication
+    is a single IEEE operation, so the scalar solver and the lane-wise
+    batched solver (``repro.sim.fluid_batch``) produce bit-identical
+    queue delays from it."""
+    return x * x * x
+
+
+# ``_cube`` hardcodes the exponent; keep it honest against the mirrored
+# curve-shape constant.
+assert QUEUE_GAMMA == 3.0
+
+
 def _queue_delay(rho: float, max_queue_delay: float) -> float:
     """The memory bus load-latency curve (repro.host.memory.
     queue_delay_for): flat below the knee, convex rise to the cap."""
     if rho <= QUEUE_KNEE:
         return 0.0
-    x = min((rho - QUEUE_KNEE) / (1.0 - QUEUE_KNEE), 1.0)
-    return max_queue_delay * x ** QUEUE_GAMMA
+    x = min((rho - QUEUE_KNEE) / _KNEE_SPAN, 1.0)
+    return max_queue_delay * _cube(x)
 
 
 def fluid_working_set(config: ExperimentConfig) -> Tuple[int, int]:
@@ -102,6 +121,14 @@ def fluid_working_set(config: ExperimentConfig) -> Tuple[int, int]:
     payload_pages = 1 if host.hugepages else 2
     accesses = payload_pages + CONTROL_ACCESSES_PER_PACKET
     return per_thread * host.cpu.cores, accesses
+
+
+#: Memo for :func:`predicted_misses_per_packet`, keyed on the config
+#: values the model actually reads.  Fleet populations draw from small
+#: discrete parameter sets, so a million hosts hit a few dozen distinct
+#: keys — and the 60-iteration bisection runs once per key, not per
+#: host.  Bounded: evicted wholesale if it ever grows past 4096 keys.
+_MISSES_MEMO: Dict[Tuple, float] = {}
 
 
 def predicted_misses_per_packet(config: ExperimentConfig) -> float:
@@ -128,6 +155,10 @@ def predicted_misses_per_packet(config: ExperimentConfig) -> float:
     capacity = host.iommu.iotlb_entries
     if n_data + n_hot <= capacity:
         return 0.0
+    key = (n_data, n_hot, capacity, host.hugepages)
+    cached = _MISSES_MEMO.get(key)
+    if cached is not None:
+        return cached
     a_data = 1 if host.hugepages else 2
     a_hot = CONTROL_ACCESSES_PER_PACKET
     lam_data = a_data / n_data
@@ -147,8 +178,12 @@ def predicted_misses_per_packet(config: ExperimentConfig) -> float:
         else:
             hi = mid
     t_char = (lo + hi) / 2.0
-    return (a_data * math.exp(-lam_data * t_char)
-            + a_hot * math.exp(-lam_hot * t_char))
+    misses = (a_data * math.exp(-lam_data * t_char)
+              + a_hot * math.exp(-lam_hot * t_char))
+    if len(_MISSES_MEMO) >= 4096:
+        _MISSES_MEMO.clear()
+    _MISSES_MEMO[key] = misses
+    return misses
 
 
 def registered_iommu_entries(config: ExperimentConfig) -> int:
@@ -273,8 +308,53 @@ class FluidSolver:
                                * host.antagonist_per_core_Bps)
         copy_read, copy_write = host.ddio.copy_demand_fractions()
         self.copy_fraction = copy_read + copy_write
-        self.offered_load = wl.offered_load
         swift = config.swift
+        # -- hoisted per-step constants (hot-path micro-opt).  ``step``
+        # touches only these instance floats, never the config tree.
+        # Every closed-form below is the former helper-method physics;
+        # ``repro.sim.fluid_batch`` mirrors the step expressions built
+        # from these constants operation-for-operation, so any change
+        # here must be made there too (the batched-equality tests will
+        # catch a divergence).
+        mem = host.memory
+        #: Memory-bus bytes the NIC writes per packet (payload +
+        #: descriptor/completion control writes).
+        self.nic_write_bytes = float(self.payload_bytes
+                                     + NIC_CONTROL_WRITE_BYTES)
+        #: Memory-bus bytes the CPU copy path moves per drained packet.
+        self.copy_bytes_per_packet = (self.payload_bytes
+                                      * self.copy_fraction)
+        self.achievable_Bps = mem.achievable_Bps
+        self.max_queue_delay = mem.max_queue_delay
+        self.walk_base = mem.walk_base_latency
+        self.walk_fraction = mem.walk_contention_fraction
+        self.iommu_on = host.iommu.enabled
+        #: Per-DMA latency with zero queueing and zero misses (T_base):
+        #: fixed PCIe overhead + serialization + one memory write —
+        #: ``repro.core.model.dma_base_latency``.
+        self.t_base = (host.pcie.dma_fixed_latency + self.serialization
+                       + mem.idle_latency)
+        #: Little's-law numerator: inflight DMA bits, derated by the
+        #: pipeline efficiency.
+        self.littles_bits = (host.pcie.max_inflight_bytes * 8
+                             * DMA_PIPELINE_EFFICIENCY)
+        self.pcie_goodput_bps = host.pcie.goodput_bps
+        #: CPU-stage capacity in *wire* bits/s at an idle memory bus.
+        self.cpu_wire_bps = (host.cpu.cores * host.cpu.core_rate_bps
+                             / self.payload_fraction)
+        self.cpu_slowdown = host.cpu.contention_slowdown
+        self.link_rate_bps = config.link.rate_bps
+        self.buffer_bytes = float(host.nic.buffer_bytes)
+        self.wire_bits = self.wire_bytes * 8
+        self.swift_target = swift.host_target
+        #: Additive-increase numerators pre-multiplied by the flow
+        #: count (the per-step terms divide by ``rtt_eff`` only).
+        self.swift_ai_n = swift.additive_increase * self.n_flows
+        self.loss_ai_n = LOSS_CC_AI * self.n_flows
+        self.swift_beta = swift.beta
+        self.swift_max_mdf = swift.max_mdf
+        self.min_cwnd = swift.min_cwnd
+        self.rto = swift.rto
         # State: start one packet per flow (the transport's initial
         # window), empty queues, and an uncongested delay estimate.
         self.W = float(self.n_flows)
@@ -290,159 +370,147 @@ class FluidSolver:
         self.q_demand = 0.0
         self.now = 0.0
         self.steps = 0
-        self._host_delay = self._t_base(0.0)
+        self._host_delay = self.t_base
         self._delayed_signal = self._host_delay
         self._nic_drain_pps = 0.0
         self._cpu_drain_pps = 0.0
         self._last_decrease = -math.inf
         self.loss_based = config.transport in LOSS_BASED_TRANSPORTS
         self._delayed_loss = 0.0
+        self.set_offered_load(wl.offered_load)
         self.run = FluidRun()
 
     # -- per-step physics --------------------------------------------------
 
-    def _t_base(self, queue_delay: float) -> float:
-        """Per-DMA latency with zero IOTLB misses (T_base): fixed PCIe
-        overhead + serialization + one (possibly contended) memory
-        write — ``repro.core.model.dma_base_latency``."""
-        host = self.config.host
-        return (host.pcie.dma_fixed_latency + self.serialization
-                + host.memory.idle_latency + queue_delay)
-
-    def _memory_state(self) -> Tuple[float, float, float]:
-        """(utilization, queue_delay, achieved_Bps) from the current
-        drain rates: NIC DMA writes (payload + control per packet) at
-        the NIC-stage rate, CPU copy traffic at the CPU-stage rate,
-        and the STREAM antagonist, against the achievable bus
-        bandwidth — the fluid half of ``repro.host.memory``."""
-        mem = self.config.host.memory
-        nic_demand = self._nic_drain_pps * (
-            self.payload_bytes + NIC_CONTROL_WRITE_BYTES)
-        cpu_demand = (self._cpu_drain_pps * self.payload_bytes
-                      * self.copy_fraction)
-        total = nic_demand + cpu_demand + self.antagonist_Bps
-        rho = total / mem.achievable_Bps
-        return (rho, _queue_delay(rho, mem.max_queue_delay),
-                min(total, mem.achievable_Bps))
-
-    def _nic_service_bps(self, queue_delay: float) -> Tuple[float, float]:
-        """(NIC-stage capacity in wire bits/s, per-DMA latency): the
-        Little's-law PCIe bound, capped by PCIe goodput."""
-        host = self.config.host
-        walk = (host.memory.walk_base_latency
-                + host.memory.walk_contention_fraction * queue_delay)
-        t_total = self._t_base(queue_delay)
-        if host.iommu.enabled:
-            t_total += self.misses_per_packet * walk
-        littles = (host.pcie.max_inflight_bytes * 8 / t_total
-                   * DMA_PIPELINE_EFFICIENCY)
-        return min(littles, host.pcie.goodput_bps), t_total
-
-    def _cpu_service_bps(self, rho: float) -> float:
-        """CPU-stage capacity in wire bits/s: per-core processing rate
-        slowed by memory-bus contention (copies stall on a loaded
-        bus)."""
-        cpu = self.config.host.cpu
-        payload_bps = (cpu.cores * cpu.core_rate_bps
-                       * (1.0 - cpu.contention_slowdown * min(rho, 1.0)))
-        return payload_bps / self.payload_fraction
-
-    def _arrival_wire_bps(self, rtt_eff: float) -> float:
-        """Offered wire rate at the access link: the window-limited
-        closed loop.  An open-loop workload accrues Poisson reads into
-        the sender-side demand backlog and the window drains *that* —
-        so demand unmet during an overloaded interval carries over and
-        drains later (the packet engine's ``Connection.add_backlog``),
-        instead of being capped at the instantaneous offered rate.
-
-        Called once per :meth:`step`; advances ``q_demand`` by one
-        ``dt`` of arrivals and debits what this step sends.
-        """
-        link_rate = self.config.link.rate_bps
-        window_bps = self.W * self.wire_bytes * 8 / rtt_eff
-        if self.offered_load is None:
-            return min(window_bps, link_rate)
-        reads_per_s = (self.offered_load * link_rate
-                       / (self.config.workload.read_size_bytes * 8))
-        open_bps = reads_per_s * self.packets_per_read \
-            * self.wire_bytes * 8
-        self.q_demand += open_bps / 8 * self.dt
-        sent_bps = min(window_bps, self.q_demand * 8 / self.dt,
-                       link_rate)
-        self.q_demand = max(0.0, self.q_demand - sent_bps / 8 * self.dt)
-        return sent_bps
-
     def step(self) -> None:
-        config = self.config
-        swift = config.swift
+        # One fused update: memory bus -> stage capacities -> arrivals
+        # -> NIC/CPU queue integration -> AIMD -> accumulators.  The
+        # physics is documented piecewise below; it is the same math the
+        # pre-batching helper methods carried, inlined so the hot loop
+        # reads locals only.
         dt = self.dt
-        rho, queue_delay, achieved_Bps = self._memory_state()
-        nic_bps, t_total = self._nic_service_bps(queue_delay)
-        cpu_bps = self._cpu_service_bps(rho)
+        run = self.run
+
+        # Memory bus (the fluid half of ``repro.host.memory``): NIC DMA
+        # writes + CPU copy traffic + the STREAM antagonist against the
+        # achievable bandwidth give utilization, the load-latency queue
+        # delay, and the achieved bandwidth.
+        total_Bps = (self._nic_drain_pps * self.nic_write_bytes
+                     + self._cpu_drain_pps * self.copy_bytes_per_packet
+                     + self.antagonist_Bps)
+        achievable_Bps = self.achievable_Bps
+        rho = total_Bps / achievable_Bps
+        if rho <= QUEUE_KNEE:
+            queue_delay = 0.0
+        else:
+            x = (rho - QUEUE_KNEE) / _KNEE_SPAN
+            if x > 1.0:
+                x = 1.0
+            queue_delay = self.max_queue_delay * _cube(x)
+        achieved_Bps = (total_Bps if total_Bps < achievable_Bps
+                        else achievable_Bps)
+
+        # NIC-stage capacity (wire bits/s): the Little's-law PCIe bound
+        # over the per-DMA latency (T_base + queueing + IOTLB walks),
+        # capped by PCIe goodput.
+        t_total = self.t_base + queue_delay
+        if self.iommu_on:
+            walk = self.walk_base + self.walk_fraction * queue_delay
+            t_total += self.misses_per_packet * walk
+        littles = self.littles_bits / t_total
+        nic_bps = (littles if littles < self.pcie_goodput_bps
+                   else self.pcie_goodput_bps)
+
+        # CPU-stage capacity (wire bits/s): per-core processing slowed
+        # by memory-bus contention (copies stall on a loaded bus).
+        rho_c = rho if rho < 1.0 else 1.0
+        cpu_bps = self.cpu_wire_bps * (1.0 - self.cpu_slowdown * rho_c)
+
+        # Arrivals: the window-limited closed loop.  An open-loop
+        # workload accrues reads into the sender-side demand backlog
+        # and the window drains *that* — demand unmet in an overloaded
+        # interval carries over (``Connection.add_backlog``) instead of
+        # being capped at the instantaneous offered rate.
         rtt_eff = self.base_rtt + self._host_delay
-        arrival_bps = self._arrival_wire_bps(rtt_eff)
+        window_bps = self.W * self.wire_bits / rtt_eff
+        if self.open_loop:
+            q_demand = self.q_demand + self.demand_step_bytes
+            arrival_bps = min(window_bps, q_demand * 8 / dt,
+                              self.link_rate_bps)
+            q_demand = q_demand - arrival_bps / 8 * dt
+            self.q_demand = q_demand if q_demand > 0.0 else 0.0
+        else:
+            arrival_bps = (window_bps if window_bps < self.link_rate_bps
+                           else self.link_rate_bps)
 
         # NIC stage: bounded buffer, tail drop on overflow.
         inflow = arrival_bps / 8 * dt
-        dma_bytes = min(nic_bps / 8 * dt, self.q_nic + inflow)
-        level = self.q_nic + inflow - dma_bytes
-        buffer_bytes = config.host.nic.buffer_bytes
-        dropped_bytes = max(0.0, level - buffer_bytes)
-        self.q_nic = min(level, buffer_bytes)
-        if self.offered_load is not None:
+        nic_capacity = nic_bps / 8 * dt
+        nic_backlog = self.q_nic + inflow
+        dma_bytes = (nic_capacity if nic_capacity < nic_backlog
+                     else nic_backlog)
+        level = nic_backlog - dma_bytes
+        buffer_bytes = self.buffer_bytes
+        dropped_bytes = level - buffer_bytes
+        if dropped_bytes < 0.0:
+            dropped_bytes = 0.0
+        q_nic = level if level < buffer_bytes else buffer_bytes
+        self.q_nic = q_nic
+        if self.open_loop:
             # Reliable transport: lost packets are retransmitted, so
             # their bytes return to the sender-side demand backlog
             # rather than vanishing from the open-loop workload.
             self.q_demand += dropped_bytes
-        nic_Bps = max(nic_bps / 8, 1.0)
-        nic_delay = t_total + self.q_nic / nic_Bps
+        nic_Bps = nic_bps / 8
+        if nic_Bps < 1.0:
+            nic_Bps = 1.0
+        nic_delay = t_total + q_nic / nic_Bps
 
         # CPU stage: unbounded in-memory backlog, loss-free.
-        done_bytes = min(cpu_bps / 8 * dt, self.q_cpu + dma_bytes)
-        self.q_cpu = self.q_cpu + dma_bytes - done_bytes
-        cpu_Bps = max(cpu_bps / 8, 1.0)
-        host_delay = nic_delay + self.q_cpu / cpu_Bps
+        cpu_capacity = cpu_bps / 8 * dt
+        cpu_backlog = self.q_cpu + dma_bytes
+        done_bytes = (cpu_capacity if cpu_capacity < cpu_backlog
+                      else cpu_backlog)
+        q_cpu = cpu_backlog - done_bytes
+        self.q_cpu = q_cpu
+        cpu_Bps = cpu_bps / 8
+        if cpu_Bps < 1.0:
+            cpu_Bps = 1.0
+        host_delay = nic_delay + q_cpu / cpu_Bps
 
         # Aggregate Swift AIMD against the one-RTT-delayed signal.
         # No hold band: the aggregate sawtooth must keep probing, or a
         # deterministic fluid settles into a frozen dead zone the
         # per-flow packet engine never reaches.
         signal = self._delayed_signal
-        target = swift.host_target
+        now = self.now
         if self.loss_based:
             # Loss-based transports (Cubic; DCTCP, whose ECN marks live
             # at the fabric switch) only see host congestion as drops:
             # probe at 1 pkt/RTT/flow until a loss round, then cut.
             if self._delayed_loss <= 0.0:
-                self.W += LOSS_CC_AI * self.n_flows * dt / rtt_eff
-            elif self.now - self._last_decrease >= rtt_eff:
+                self.W += self.loss_ai_n * dt / rtt_eff
+            elif now - self._last_decrease >= rtt_eff:
                 self.W *= LOSS_CC_BETA
-                self._last_decrease = self.now
-        elif signal < target:
-            self.W += (swift.additive_increase * self.n_flows
-                       * dt / rtt_eff)
-        elif self.now - self._last_decrease >= rtt_eff:
-            mdf = min(swift.max_mdf,
-                      swift.beta * (signal - target) / signal)
+                self._last_decrease = now
+        elif signal < self.swift_target:
+            self.W += self.swift_ai_n * dt / rtt_eff
+        elif now - self._last_decrease >= rtt_eff:
+            mdf = (self.swift_beta * (signal - self.swift_target)
+                   / signal)
+            if mdf > self.swift_max_mdf:
+                mdf = self.swift_max_mdf
             self.W *= 1.0 - mdf
-            self._last_decrease = self.now
-        self.W = min(max(self.W, self.min_W), self.max_W)
+            self._last_decrease = now
+        W = self.W
+        if W < self.min_W:
+            W = self.min_W
+        elif W > self.max_W:
+            W = self.max_W
+        self.W = W
 
-        self._accumulate(dt, inflow, dropped_bytes, dma_bytes,
-                         done_bytes, t_total, nic_delay, host_delay,
-                         rho, achieved_Bps, rtt_eff)
-        self._delayed_signal = self._host_delay
-        self._host_delay = host_delay
-        self._delayed_loss = dropped_bytes
-        self._nic_drain_pps = dma_bytes / self.wire_bytes / dt
-        self._cpu_drain_pps = done_bytes / self.wire_bytes / dt
-        self.now += dt
-        self.steps += 1
-
-    def _accumulate(self, dt, inflow, dropped_bytes, dma_bytes,
-                    done_bytes, t_total, nic_delay, host_delay, rho,
-                    achieved_Bps, rtt_eff) -> None:
-        run = self.run
+        # Accumulators (the former ``_accumulate``, inlined: no per-step
+        # argument tuples or record lists on the common path).
         rx = inflow / self.wire_bytes
         dropped = dropped_bytes / self.wire_bytes
         dma = dma_bytes / self.wire_bytes
@@ -452,27 +520,61 @@ class FluidSolver:
         run.dropped_packets += dropped
         run.dma_packets += dma
         run.drained_packets += drained
-        run.drained_payload_bytes += drained * self.payload_fraction \
-            * self.wire_bytes
+        run.drained_payload_bytes += drained * self.payload_bytes
         run.retransmissions += dropped
         run.dma_latency_weighted += t_total * dma
         run.nic_delay_weighted += nic_delay * dma
         run.utilization_integral += rho * dt
         run.achieved_bw_integral += achieved_Bps * dt
-        run.cwnd_integral += self.W / self.n_flows * dt
-        run.peak_queue_bytes = max(run.peak_queue_bytes, self.q_nic)
-        if drained <= 0:
-            return
-        run.delay_pairs.append((nic_delay, dma))
-        p_pkt = min(dropped / rx, 1.0) if rx > 0 else 0.0
-        per_flow_w = max(self.W / self.n_flows,
-                         self.config.swift.min_cwnd)
-        record = (host_delay, rtt_eff, p_pkt, drained, per_flow_w)
-        run.step_trace.append(record)
-        pairs, timeouts = self.synthesize_message_pairs(
-            [record], self.packets_per_read)
-        run.latency_pairs.extend(pairs)
-        run.timeouts += timeouts
+        run.cwnd_integral += W / self.n_flows * dt
+        if q_nic > run.peak_queue_bytes:
+            run.peak_queue_bytes = q_nic
+        if drained > 0.0:
+            run.delay_pairs.append((nic_delay, dma))
+            if rx > 0.0:
+                p_pkt = dropped / rx
+                if p_pkt > 1.0:
+                    p_pkt = 1.0
+            else:
+                p_pkt = 0.0
+            per_flow_w = W / self.n_flows
+            if per_flow_w < self.min_cwnd:
+                per_flow_w = self.min_cwnd
+            run.step_trace.append(
+                (host_delay, rtt_eff, p_pkt, drained, per_flow_w))
+            # Inline of ``synthesize_message_pairs`` for this step's
+            # record: same outcome classes, but the loss-free fast path
+            # skips the ``pow`` and the zero-weight bookkeeping.
+            ppr = self.packets_per_read
+            messages = drained / ppr
+            rounds = ppr / per_flow_w
+            if rounds < 1.0:
+                rounds = 1.0
+            base = (self.base_rtt + host_delay
+                    + (rounds - 1.0) * rtt_eff)
+            pairs = run.latency_pairs
+            if p_pkt > 0.0:
+                p_msg = 1.0 - (1.0 - p_pkt) ** ppr
+                p_timeout = p_msg * p_pkt
+                run.timeouts += messages * p_timeout
+                pairs.append((base, messages * (1.0 - p_msg)))
+                if p_msg > 0.0:
+                    pairs.append((base + rtt_eff,
+                                  messages * (p_msg - p_timeout)))
+                if p_timeout > 0.0:
+                    pairs.append((base + self.rto,
+                                  messages * p_timeout))
+            else:
+                pairs.append((base, messages))
+
+        # Roll the delayed signals forward one step.
+        self._delayed_signal = self._host_delay
+        self._host_delay = host_delay
+        self._delayed_loss = dropped_bytes
+        self._nic_drain_pps = dma / dt
+        self._cpu_drain_pps = drained / dt
+        self.now = now + dt
+        self.steps += 1
 
     def synthesize_message_pairs(
             self, records, packets_per_read: float,
@@ -517,8 +619,19 @@ class FluidSolver:
 
     def set_offered_load(self, load: Optional[float]) -> None:
         """Mid-run load change (the day driver's per-bin schedule) —
-        mirrors ``RemoteReadWorkload.set_offered_load``."""
+        mirrors ``RemoteReadWorkload.set_offered_load``.  Precomputes
+        the per-step open-loop demand accrual so :meth:`step` only adds
+        a constant."""
         self.offered_load = load
+        self.open_loop = load is not None
+        if self.open_loop:
+            reads_per_s = (load * self.link_rate_bps
+                           / (self.config.workload.read_size_bytes * 8))
+            open_bps = reads_per_s * self.packets_per_read \
+                * self.wire_bytes * 8
+            self.demand_step_bytes = open_bps / 8 * self.dt
+        else:
+            self.demand_step_bytes = 0.0
 
     def set_antagonist_cores(self, cores: int) -> None:
         """Mid-run antagonist change — mirrors

@@ -44,18 +44,76 @@ from repro.core.config import (
     SimConfig,
     WorkloadConfig,
 )
+from repro.sim.fluid import LOSS_BASED_TRANSPORTS
 from repro.workload.fleet_agg import (
     FleetAggregate,
     FleetCheckpoint,
     shard_bounds,
 )
 
-__all__ = ["FleetSample", "FleetSampler", "substream_seed"]
+__all__ = [
+    "FleetSample",
+    "FleetSampler",
+    "cohort_key",
+    "group_cohorts",
+    "substream_seed",
+]
 
 #: (hosts_done, hosts_total) — invoked after every folded host.
 ProgressFn = Callable[[int, int], None]
 #: Lifecycle-event sink, as in :mod:`repro.core.parallel`.
 EventFn = Callable[[Dict], None]
+
+
+def cohort_key(config: ExperimentConfig) -> tuple:
+    """The structural code-path key of a drawn host config.
+
+    Two configs with equal keys follow the same branches through
+    ``FluidSolver.step`` — loss- vs delay-based congestion control,
+    open- vs closed-loop workload, IOMMU on/off — and differ only in
+    continuous parameters, so they can share one
+    :class:`~repro.sim.fluid_batch.BatchFluidSolver` batch.  A pure
+    function of the config: identical configs always share a cohort.
+    """
+    return (config.transport in LOSS_BASED_TRANSPORTS,
+            config.workload.offered_load is None,
+            config.host.iommu.enabled)
+
+
+def group_cohorts(indexed_configs) -> Dict[tuple, List[int]]:
+    """Partition ``(index, config)`` pairs into structural cohorts.
+
+    Returns ``{cohort_key: [index, ...]}`` with indices in encounter
+    order; every input index lands in exactly one cohort.
+    """
+    groups: Dict[tuple, List[int]] = {}
+    for index, config in indexed_configs:
+        groups.setdefault(cohort_key(config), []).append(index)
+    return groups
+
+
+@dataclass(frozen=True)
+class _FailureStub:
+    """Minimal stand-in for a :class:`~repro.core.results.FailedRun`
+    when a batched worker reports a failure by kind only (all
+    :meth:`FleetAggregate.add_failed` reads is ``.kind``)."""
+
+    kind: str
+
+
+def _solve_batch_range(seed: int, warmup: float, duration: float,
+                       fidelity: str, start: int, stop: int,
+                       alpha: float, want_hosts: bool):
+    """Top-level (picklable) batched-fleet pool task: rebuild the
+    sampler from its defining tuple and solve one host range.  Workers
+    receive *index ranges*, never configs — the population is
+    re-derived in-worker from the ``(seed, index)`` substreams, so it
+    is byte-identical however ranges land on processes, and the
+    per-task IPC payload is five scalars instead of ``batch_size``
+    config trees."""
+    sampler = FleetSampler(seed=seed, warmup=warmup, duration=duration,
+                           fidelity=fidelity)
+    return sampler._solve_range(start, stop, alpha, want_hosts)
 
 
 def substream_seed(seed: int, index: int) -> int:
@@ -263,6 +321,125 @@ class FleetSampler:
                 progress(len(samples), n_hosts)
         return samples
 
+    def resolve_backend(self, backend: str = "auto") -> str:
+        """Normalize a fleet execution ``backend`` argument.
+
+        ``"auto"`` picks ``"batched"`` (the cohort-vectorized
+        :class:`~repro.sim.fluid_batch.BatchFluidSolver` path) whenever
+        the fidelity is fluid, and ``"scalar"`` (one pool task per
+        host) otherwise; the explicit names force a path.  Batching is
+        a fluid-only concept — the packet engine has no array form —
+        so ``"batched"`` with a packet fleet is an error.
+
+        ``"auto"`` also falls back to ``"scalar"`` when numpy is
+        absent (it is a declared dependency, but the scalar engines
+        run without it); asking for ``"batched"`` explicitly in that
+        situation raises ``ImportError`` instead of silently
+        downgrading.
+        """
+        if backend == "auto":
+            if self.fidelity != "fluid":
+                return "scalar"
+            try:
+                import numpy  # noqa: F401
+            except ImportError:
+                return "scalar"
+            return "batched"
+        if backend not in ("batched", "scalar"):
+            raise ValueError(
+                f"backend must be 'auto', 'batched', or 'scalar', "
+                f"got {backend!r}")
+        if backend == "batched" and self.fidelity != "fluid":
+            raise ValueError(
+                "batched fleet execution requires fidelity='fluid' "
+                f"(sampler has {self.fidelity!r})")
+        return backend
+
+    def _solve_range(self, start: int, stop: int, alpha: float,
+                     want_hosts: bool):
+        """Batch-solve hosts ``[start, stop)`` into a partial aggregate.
+
+        The body of one batched-fleet task: draw the range's configs,
+        partition them into structural cohorts (:func:`group_cohorts`),
+        step each cohort through one
+        :class:`~repro.sim.fluid_batch.BatchFluidSolver`, and fold the
+        per-host outcomes — in index order — into a fresh
+        :class:`FleetAggregate`.  A cohort that fails to batch-solve
+        falls back to per-host scalar runs, and a host that still
+        fails is folded via ``add_failed`` — one bad host cannot sink
+        the range, exactly like the scalar streaming path.
+
+        Returns ``(aggregate_state_dict, host_rows)`` — plain
+        picklable data.  ``host_rows`` is ``None`` unless
+        ``want_hosts``; otherwise one ``(index, kind, payload)`` tuple
+        per host for the parent's telemetry fan-out.
+        """
+        from repro.sim.fluid_batch import BatchFluidSolver
+
+        end_time = self.warmup + self.duration
+        configs = {i: self.draw_config(i) for i in range(start, stop)}
+        outcomes: Dict[int, tuple] = {}
+
+        def scalar_fallback(index: int) -> tuple:
+            from repro.core.experiment import run_experiment
+            try:
+                result = run_experiment(configs[index])
+                return ("ok", result.metrics["link_utilization"],
+                        result.metrics["drop_rate"],
+                        result.metrics.get("app_throughput_gbps", 0.0))
+            except Exception as exc:
+                return ("failed", "error", repr(exc))
+
+        for indices in group_cohorts(configs.items()).values():
+            try:
+                solver = BatchFluidSolver([configs[i] for i in indices])
+                solver.run_until(self.warmup)
+                solver.reset_stats()
+                solver.run_until(end_time)
+                metrics = solver.fleet_metrics()
+            except Exception:
+                for index in indices:
+                    outcomes[index] = scalar_fallback(index)
+                continue
+            utils = metrics["link_utilization"]
+            drops = metrics["drop_rate"]
+            apps = metrics["app_throughput_gbps"]
+            for lane, index in enumerate(indices):
+                outcomes[index] = ("ok", float(utils[lane]),
+                                   float(drops[lane]),
+                                   float(apps[lane]))
+
+        aggregate = FleetAggregate(alpha=alpha)
+        host_rows: Optional[list] = [] if want_hosts else None
+        for index in range(start, stop):
+            outcome = outcomes[index]
+            if outcome[0] == "ok":
+                _, utilization, drop_rate, app_gbps = outcome
+                config = configs[index]
+                aggregate.add(FleetSample(
+                    host_index=index,
+                    link_utilization=utilization,
+                    drop_rate=drop_rate,
+                    transport=config.transport,
+                    cores=config.host.cpu.cores,
+                    antagonist_cores=config.host.antagonist_cores,
+                    iommu=config.host.iommu.enabled,
+                    hugepages=config.host.hugepages,
+                    stratum=self._draw_class(index),
+                ))
+                if host_rows is not None:
+                    host_rows.append((index, "ok", {
+                        "link_utilization": utilization,
+                        "drop_rate": drop_rate,
+                        "app_throughput_gbps": app_gbps}))
+            else:
+                _, kind, error = outcome
+                aggregate.add_failed(_FailureStub(kind))
+                if host_rows is not None:
+                    host_rows.append((index, kind,
+                                      {"error": error}))
+        return aggregate.to_dict(), host_rows
+
     def run_aggregate(
         self,
         n_hosts: int,
@@ -278,6 +455,8 @@ class FleetSampler:
         timeout: Optional[float] = None,
         alpha: float = 0.01,
         stop_after_shard: Optional[int] = None,
+        backend: str = "auto",
+        batch_size: int = 4096,
     ) -> FleetAggregate:
         """Stream the fleet shard-by-shard into a merged aggregate.
 
@@ -302,7 +481,26 @@ class FleetSampler:
         combines them).  ``stop_after_shard=k`` exits after shard
         ``k`` completes — a deterministic stand-in for a mid-run kill
         in tests.
+
+        ``backend`` selects the execution engine
+        (:meth:`resolve_backend`): under ``"batched"`` — the default
+        whenever fidelity is fluid — each shard is cut into
+        ``batch_size``-host ranges, every range is one pool task
+        (:func:`repro.core.parallel.map_stream`) that re-derives its
+        configs in-worker and vectorizes them per structural cohort
+        through :class:`~repro.sim.fluid_batch.BatchFluidSolver`, and
+        the returned partial aggregates merge in index order.  The
+        per-host outcomes are bit-identical to the scalar backend's
+        (see ``repro.sim.fluid_batch``), so both backends produce
+        equal aggregates for the same population; checkpoint/resume
+        semantics carry over, with the cursor advancing a range at a
+        time.  ``timeout`` applies per host under the scalar backend
+        only (a fluid batch is deterministic compute with no per-host
+        waiting to bound).
         """
+        batched = self.resolve_backend(backend) == "batched"
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         bounds = shard_bounds(n_hosts, shards)
         meta = {"seed": self.seed, "n_hosts": n_hosts,
                 "shards": len(bounds), "fidelity": self.fidelity,
@@ -351,23 +549,59 @@ class FleetSampler:
                         "ts": time.time()})
             aggregate = record["aggregate"]
             since_save = 0
-            for item in self.stream(stop, start=cursor,
-                                    workers=workers, events=events,
-                                    timeout=timeout, failures="keep",
-                                    announce=False):
-                if isinstance(item, FleetSample):
-                    aggregate.add(item)
-                else:
-                    aggregate.add_failed(item)
-                cursor += 1
-                done_hosts += 1
-                since_save += 1
-                record["cursor"] = cursor
-                if progress is not None:
-                    progress(done_hosts, n_hosts)
-                if persist and since_save >= checkpoint_every:
-                    ckpt.save()
-                    since_save = 0
+            if batched:
+                from repro.core.parallel import map_stream
+                ranges = [(lo, min(lo + batch_size, stop))
+                          for lo in range(cursor, stop, batch_size)]
+                tasks = ((self.seed, self.warmup, self.duration,
+                          self.fidelity, lo, hi, alpha,
+                          events is not None)
+                         for lo, hi in ranges)
+                for _pos, (state, host_rows) in map_stream(
+                        _solve_batch_range, tasks, workers=workers):
+                    partial = FleetAggregate.from_dict(state)
+                    aggregate.merge(partial)
+                    folded = partial.hosts + partial.failed
+                    cursor += folded
+                    done_hosts += folded
+                    since_save += folded
+                    record["cursor"] = cursor
+                    if events is not None and host_rows:
+                        stamp = time.time()
+                        for index, kind, payload in host_rows:
+                            if kind == "ok":
+                                events({"ev": "finished",
+                                        "index": index,
+                                        "metrics": payload,
+                                        "ts": stamp})
+                            else:
+                                events({"ev": "failed", "index": index,
+                                        "failure_kind": kind,
+                                        "ts": stamp, **payload})
+                    if progress is not None:
+                        progress(done_hosts, n_hosts)
+                    if persist and since_save >= checkpoint_every:
+                        ckpt.save()
+                        since_save = 0
+            else:
+                for item in self.stream(stop, start=cursor,
+                                        workers=workers, events=events,
+                                        timeout=timeout,
+                                        failures="keep",
+                                        announce=False):
+                    if isinstance(item, FleetSample):
+                        aggregate.add(item)
+                    else:
+                        aggregate.add_failed(item)
+                    cursor += 1
+                    done_hosts += 1
+                    since_save += 1
+                    record["cursor"] = cursor
+                    if progress is not None:
+                        progress(done_hosts, n_hosts)
+                    if persist and since_save >= checkpoint_every:
+                        ckpt.save()
+                        since_save = 0
             record["done"] = True
             record["cursor"] = stop
             if persist:

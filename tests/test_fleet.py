@@ -204,6 +204,86 @@ class TestStreaming:
         assert resumed == clean
 
 
+class TestBatchedBackend:
+    """The cohort-batched fluid backend must be observationally
+    identical to the scalar one: same seed, equal aggregates (the
+    aggregate's own exact ``__eq__``) across every sharding, worker
+    count, and batch size — ISSUE 9's acceptance matrix."""
+
+    def sampler(self):
+        return FleetSampler(seed=5, warmup=0.5e-3, duration=1e-3,
+                            fidelity="fluid")
+
+    def test_backend_resolution(self):
+        fluid = self.sampler()
+        assert fluid.resolve_backend("auto") == "batched"
+        assert fluid.resolve_backend("scalar") == "scalar"
+        assert fluid.resolve_backend("batched") == "batched"
+        packet = FleetSampler(fidelity="packet")
+        assert packet.resolve_backend("auto") == "scalar"
+        with pytest.raises(ValueError, match="fidelity='fluid'"):
+            packet.resolve_backend("batched")
+        with pytest.raises(ValueError, match="backend must be"):
+            fluid.resolve_backend("vectorized")
+
+    def test_fluid_fleet_defaults_to_batched(self):
+        # "auto" (the run_aggregate default) must take the batched
+        # path for fluid fleets and still equal an explicit scalar run.
+        sampler = self.sampler()
+        assert (sampler.run_aggregate(40)
+                == sampler.run_aggregate(40, backend="scalar"))
+
+    @pytest.mark.parametrize("shards", (1, 2))
+    @pytest.mark.parametrize("workers", (1, 4))
+    @pytest.mark.parametrize("batch_size", (1, 64, 4096))
+    def test_equals_scalar_across_matrix(self, shards, workers,
+                                         batch_size):
+        sampler = self.sampler()
+        scalar = sampler.run_aggregate(50, backend="scalar")
+        batched = sampler.run_aggregate(50, shards=shards,
+                                        workers=workers,
+                                        backend="batched",
+                                        batch_size=batch_size)
+        assert batched == scalar, (shards, workers, batch_size)
+        assert batched.hosts == 50
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            self.sampler().run_aggregate(8, batch_size=0)
+
+    def test_batched_checkpoint_resume_equals_clean(self, tmp_path):
+        """stop_after_shard on the batched path, then resume — the
+        resumed merged aggregate must equal an uninterrupted batched
+        run and therefore the scalar answer too."""
+        sampler = self.sampler()
+        clean = sampler.run_aggregate(20, shards=4, backend="batched",
+                                      batch_size=3)
+        checkpoint = tmp_path / "fleet.ckpt.json"
+        partial = sampler.run_aggregate(20, shards=4,
+                                        backend="batched",
+                                        batch_size=3,
+                                        checkpoint=str(checkpoint),
+                                        stop_after_shard=1)
+        assert partial.hosts == 10  # shards 0 and 1 of 4
+        resumed = sampler.run_aggregate(20, shards=4,
+                                        backend="batched",
+                                        batch_size=3,
+                                        checkpoint=str(checkpoint),
+                                        resume=True)
+        assert resumed == clean
+        assert resumed == sampler.run_aggregate(20, backend="scalar")
+
+    def test_batched_emits_per_host_events(self):
+        events = []
+        sampler = self.sampler()
+        sampler.run_aggregate(12, events=events.append)
+        finished = [e for e in events if e.get("ev") == "finished"]
+        assert len(finished) == 12
+        assert sorted(e["index"] for e in finished) == list(range(12))
+        for event in finished:
+            assert "link_utilization" in event["metrics"]
+
+
 class TestFleetAggregate:
     def sample(self, **kwargs):
         defaults = dict(host_index=0, link_utilization=0.5,

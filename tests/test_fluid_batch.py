@@ -1,0 +1,199 @@
+"""Property tests for the batched fluid solver and cohort grouping.
+
+The batched backend's whole claim is *exactness*: for any config the
+scalar fluid solver accepts, a :class:`BatchFluidSolver` lane must
+reproduce the scalar trajectory bit for bit (the fleet aggregate's
+equality is exact, so "close" is not good enough).  These tests sweep
+the config space hypothesis-style — transport, offered load, IOMMU,
+hugepages, cores, antagonists — and assert per-host state,
+accumulator, and headline-metric equality, plus the cohort-grouping
+invariants the fleet driver relies on (exact partition; a key never
+splits identical configs)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.config import (
+    CpuConfig,
+    ExperimentConfig,
+    HostConfig,
+    IommuConfig,
+    SimConfig,
+    WorkloadConfig,
+)
+from repro.sim.fluid import FluidSolver
+from repro.sim.fluid_batch import (
+    _ACC_ATTRS,
+    _STATE_ATTRS,
+    BatchFluidSolver,
+)
+from repro.workload.fleet import FleetSampler, cohort_key, group_cohorts
+
+WARMUP = 0.5e-3
+DURATION = 1e-3
+END = WARMUP + DURATION
+
+
+def make_config(transport, offered, iommu, hugepages, cores,
+                antagonist, senders, region_mb) -> ExperimentConfig:
+    return ExperimentConfig(
+        host=HostConfig(
+            cpu=CpuConfig(cores=cores),
+            iommu=IommuConfig(enabled=iommu),
+            hugepages=hugepages,
+            rx_region_bytes=region_mb * 2**20,
+            antagonist_cores=antagonist,
+        ),
+        workload=WorkloadConfig(senders=senders, offered_load=offered),
+        transport=transport,
+        fidelity="fluid",
+        sim=SimConfig(warmup=WARMUP, duration=DURATION, seed=1),
+    )
+
+
+#: The fleet sampler's config space (and a bit beyond it): every
+#: structural branch combination times a spread of continuous knobs.
+config_space = st.builds(
+    make_config,
+    transport=st.sampled_from(("swift", "cubic")),
+    offered=st.sampled_from((None, 0.25, 0.55, 0.7, 0.95)),
+    iommu=st.booleans(),
+    hugepages=st.booleans(),
+    cores=st.sampled_from((2, 4, 8, 12, 16)),
+    antagonist=st.sampled_from((0, 4, 8, 15)),
+    senders=st.sampled_from((10, 20, 40)),
+    region_mb=st.sampled_from((4, 8, 16)),
+)
+
+
+def solve_scalar(config) -> FluidSolver:
+    solver = FluidSolver(config)
+    solver.run_until(WARMUP)
+    solver.reset_stats()
+    solver.run_until(END)
+    return solver
+
+
+def assert_lane_matches_scalar(batch: BatchFluidSolver, lane: int,
+                               scalar: FluidSolver) -> None:
+    """Lane ``lane`` of ``batch`` must equal the solved ``scalar``:
+    exact for every state variable and accumulator in the dynamics
+    chain; rtol for ``timeouts`` (the one knowingly inexact output,
+    see the fluid_batch module docstring)."""
+    assert int(batch.steps[lane]) == scalar.steps
+    for attr in _STATE_ATTRS:
+        assert float(getattr(batch, attr)[lane]) == getattr(
+            scalar, attr), f"state {attr} diverged"
+    for attr in _ACC_ATTRS:
+        got = float(getattr(batch, attr)[lane])
+        want = getattr(scalar.run, attr)
+        if attr == "timeouts":
+            assert math.isclose(got, want, rel_tol=1e-9,
+                                abs_tol=1e-12), "timeouts out of rtol"
+        else:
+            assert got == want, f"accumulator {attr} diverged"
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=config_space)
+def test_single_lane_matches_scalar_bit_for_bit(config):
+    batch = BatchFluidSolver([config])
+    batch.run_until(WARMUP)
+    batch.reset_stats()
+    batch.run_until(END)
+    assert_lane_matches_scalar(batch, 0, solve_scalar(config))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20),
+       start=st.integers(min_value=0, max_value=997))
+def test_fleet_cohorts_match_scalar_per_host(seed, start):
+    """A window of the real fleet population, batched cohort by
+    cohort, must reproduce every host's scalar trajectory — including
+    hosts frozen by the active mask while slower-``dt`` cohort-mates
+    catch up."""
+    sampler = FleetSampler(seed=seed, warmup=WARMUP,
+                           duration=DURATION, fidelity="fluid")
+    indexed = [(i, sampler.draw_config(i))
+               for i in range(start, start + 24)]
+    configs = dict(indexed)
+    cohorts = group_cohorts(indexed)
+    seen = []
+    for indices in cohorts.values():
+        batch = BatchFluidSolver([configs[i] for i in indices])
+        batch.run_until(WARMUP)
+        batch.reset_stats()
+        batch.run_until(END)
+        for lane, index in enumerate(indices):
+            assert_lane_matches_scalar(batch, lane,
+                                       solve_scalar(configs[index]))
+        seen.extend(indices)
+    assert sorted(seen) == [i for i, _ in indexed]
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=config_space)
+def test_fleet_metrics_match_scalar_pipeline(config):
+    """The batch's headline metrics must be bitwise equal to the
+    scalar experiment pipeline's (these are the values the fleet
+    aggregate sketches, where equality is exact)."""
+    from repro.core.experiment import run_experiment
+
+    batch = BatchFluidSolver([config])
+    batch.run_until(WARMUP)
+    batch.reset_stats()
+    batch.run_until(END)
+    metrics = batch.fleet_metrics()
+    result = run_experiment(config)
+    for key in ("link_utilization", "drop_rate",
+                "app_throughput_gbps"):
+        assert float(metrics[key][0]) == result.metrics[key], key
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20),
+       start=st.integers(min_value=0, max_value=10_000),
+       count=st.integers(min_value=1, max_value=64))
+def test_group_cohorts_partitions_exactly(seed, start, count):
+    sampler = FleetSampler(seed=seed, fidelity="fluid")
+    indexed = [(i, sampler.draw_config(i))
+               for i in range(start, start + count)]
+    cohorts = group_cohorts(indexed)
+    flattened = [i for indices in cohorts.values() for i in indices]
+    # Every index in exactly one cohort, order preserved inside each.
+    assert sorted(flattened) == list(range(start, start + count))
+    assert len(flattened) == len(set(flattened))
+    configs = dict(indexed)
+    for key, indices in cohorts.items():
+        assert indices == sorted(indices)
+        for index in indices:
+            assert cohort_key(configs[index]) == key
+
+
+@given(config=config_space)
+@settings(max_examples=25, deadline=None)
+def test_cohort_key_never_splits_identical_configs(config):
+    assert cohort_key(config) == cohort_key(config)
+    cohorts = group_cohorts([(0, config), (1, config), (2, config)])
+    assert list(cohorts.values()) == [[0, 1, 2]]
+
+
+def test_mixed_cohort_is_rejected():
+    swift = make_config("swift", None, True, True, 8, 0, 10, 4)
+    cubic = make_config("cubic", None, True, True, 8, 0, 10, 4)
+    open_loop = make_config("swift", 0.7, True, True, 8, 0, 10, 4)
+    no_iommu = make_config("swift", None, False, True, 8, 0, 10, 4)
+    for other in (cubic, open_loop, no_iommu):
+        with pytest.raises(ValueError, match="mixed cohort"):
+            BatchFluidSolver([swift, other])
+    assert cohort_key(swift) != cohort_key(cubic)
+    assert cohort_key(swift) != cohort_key(open_loop)
+    assert cohort_key(swift) != cohort_key(no_iommu)
+
+
+def test_empty_batch_is_rejected():
+    with pytest.raises(ValueError, match="at least one config"):
+        BatchFluidSolver([])

@@ -87,6 +87,38 @@ def test_fluid_solver_is_pinned_to_the_kernel_layer():
                 f"imports {target}")
 
 
+def test_batched_fluid_solver_is_pinned_to_the_kernel_layer():
+    """``repro.sim.fluid_batch`` is the vectorized form of the fluid
+    solver and sits beside it at layer 0: cohort grouping and fleet
+    policy belong to ``workload`` (which imports *down* into it), so
+    the batch module itself may only see the pinned kernel modules
+    and its ``repro.sim`` neighbours — exactly the rule that keeps
+    the scalar solver a leaf."""
+    sys.path.insert(0, str(REPO / "scripts"))
+    try:
+        from check_layering import KERNEL_MODULES, layer_of
+    finally:
+        sys.path.pop(0)
+    assert layer_of("repro.sim.fluid_batch") == 0
+    path = REPO / "src" / "repro" / "sim" / "fluid_batch.py"
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        targets = []
+        if isinstance(node, ast.Import):
+            targets = [a.name for a in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            targets = [node.module]
+        for target in targets:
+            if target.split(".")[0] != "repro":
+                continue
+            assert (target in KERNEL_MODULES
+                    or any(target.startswith(k + ".")
+                           for k in KERNEL_MODULES)
+                    or target.startswith("repro.sim")), (
+                f"sim/fluid_batch.py may only import kernel modules, "
+                f"imports {target}")
+
+
 def test_upward_import_is_flagged(tmp_path):
     # A fake repro tree where the bottom layer imports a higher one.
     pkg = make_fake_tree(tmp_path)
