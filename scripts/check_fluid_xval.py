@@ -77,8 +77,15 @@ def cross_validate(spec: ScenarioSpec, quality: Optional[str],
                       workers=workers)
     fluid = spec.run(quality=quality, fidelity="fluid")
     if spec.driver == "sweep":
-        return xval.compare_sweep(spec.name, packet, fluid,
-                                  _x_key(spec))
+        report = xval.compare_sweep(spec.name, packet, fluid,
+                                    _x_key(spec))
+        claim = xval.ROUTING_CLAIMS.get(spec.name)
+        if claim is not None:
+            routing = xval.compare_routing_sweep(
+                spec.name, packet, fluid, _x_key(spec), claim)
+            report.checks += routing.checks
+            report.disagreements.extend(routing.disagreements)
+        return report
     if spec.driver == "day":
         return xval.compare_day(spec.name, packet, fluid)
     return xval.compare_isolation(spec.name, packet, fluid)

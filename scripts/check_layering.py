@@ -50,12 +50,15 @@ LAYERS: Dict[str, int] = {
 TOP_MODULES = {"__init__", "__main__"}
 TOP_LAYER = 7
 
-#: repro.core modules pinned to layer 0: pure data/constants/statistics
-#: with no dependency on (or from) the experiment machinery.
+#: Modules pinned to layer 0: pure data/constants/statistics with no
+#: dependency on (or from) the experiment machinery.  ``net.routing``
+#: lives here so both the packet fabric (layer 1) and the fluid solver
+#: (layer 0's sim package) can share one deterministic path-hash.
 KERNEL_MODULES = {
     "repro.core.config",
     "repro.core.calibration",
     "repro.core.metrics",
+    "repro.net.routing",
 }
 
 #: Pure-data packages: bundled scenario specs and the like.  Their

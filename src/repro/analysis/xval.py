@@ -49,6 +49,7 @@ __all__ = [
     "DAY_CUMULATIVE_RTOL",
     "DROP_ONSET_THRESHOLD",
     "ONSET_POSITION_TOLERANCE",
+    "ROUTING_CLAIMS",
     "THROUGHPUT_RTOL",
     "AgreementReport",
     "Disagreement",
@@ -57,6 +58,7 @@ __all__ = [
     "compare_fleet_aggregate",
     "compare_fleet_backends",
     "compare_isolation",
+    "compare_routing_sweep",
     "compare_sweep",
     "drop_onset",
 ]
@@ -211,6 +213,111 @@ def compare_sweep(
                      f"{_describe(f_onset)} "
                      f"(threshold {threshold:g}, "
                      f"tolerance ±{ONSET_POSITION_TOLERANCE})")
+    return report
+
+
+#: Routing-sweep claim each bundled multipath spec must reproduce
+#: (consumed by ``scripts/check_fluid_xval.py``):
+#:
+#: - ``"host-invariant"`` — the congestion is inside the host, so the
+#:   drop onset must land on the same grid position (±1) for every
+#:   routing policy, at both fidelities (the incast spec's claim).
+#: - ``"fabric-multipath"`` — the congestion is in the fabric, so
+#:   routing decides the outcome: fabric drop onset orders static
+#:   before ECMP before flowlet, and both engines crown the same
+#:   (flowlet) throughput winner at the top load (the dumbbell spec).
+ROUTING_CLAIMS: Dict[str, str] = {
+    "incast": "host-invariant",
+    "dumbbell": "fabric-multipath",
+}
+
+#: Routing policies ordered worst-to-best for multipath fabrics; the
+#: fabric-multipath onset check asserts onsets are non-decreasing in
+#: this order (an absent onset counts as "past the end of the grid").
+_ROUTING_ORDER = ("static", "ecmp", "flowlet")
+
+
+def _routing_series(table: ResultTable,
+                    x_key: str) -> Dict[str, List]:
+    """Rows per routing policy, in x order (expansion order)."""
+    groups: Dict[str, List] = {}
+    for result in table:
+        if isinstance(result, FailedRun):
+            continue
+        groups.setdefault(result.params.get("routing"),
+                          []).append(result)
+    return groups
+
+
+def compare_routing_sweep(
+    scenario: str,
+    packet: ResultTable,
+    fluid: ResultTable,
+    x_key: str,
+    claim: str,
+    *,
+    threshold: float = DROP_ONSET_THRESHOLD,
+) -> AgreementReport:
+    """Check the routing-policy claim a multipath spec reproduces.
+
+    Complements :func:`compare_sweep` (which already pins per-point
+    throughput and per-series onset across fidelities) with the
+    *cross-policy* structure: see :data:`ROUTING_CLAIMS`.
+    """
+    report = AgreementReport(scenario=f"{scenario}/routing")
+    if claim not in ("host-invariant", "fabric-multipath"):
+        raise ValueError(f"unknown routing claim {claim!r}")
+    for label, table in (("packet", packet), ("fluid", fluid)):
+        groups = _routing_series(table, x_key)
+        report.check(len(groups) >= 2, "routing-series", label,
+                     f"need >= 2 routing series, got {sorted(groups)}")
+        if len(groups) < 2:
+            continue
+        if claim == "host-invariant":
+            onsets = {
+                name: drop_onset(
+                    [r.metrics["drop_rate"] for r in rows], threshold)
+                for name, rows in groups.items()}
+            known = [o for o in onsets.values() if o is not None]
+            agree = (len(known) == len(onsets)
+                     and max(known) - min(known)
+                     <= ONSET_POSITION_TOLERANCE)
+            report.check(
+                agree, "routing-onset-invariance", label,
+                f"host-congestion onset must not move with the "
+                f"routing policy; onsets {onsets} "
+                f"(tolerance ±{ONSET_POSITION_TOLERANCE})")
+        else:
+            past_end = max(len(rows) for rows in groups.values())
+            onsets = {
+                name: drop_onset(
+                    [r.metrics["fabric_drop_rate"] for r in rows],
+                    threshold)
+                for name, rows in groups.items()}
+            ordered = [onsets.get(name, past_end)
+                       if onsets.get(name) is not None else past_end
+                       for name in _ROUTING_ORDER if name in groups]
+            report.check(
+                ordered == sorted(ordered), "fabric-onset-order", label,
+                f"fabric drop onset must be non-decreasing "
+                f"static -> ecmp -> flowlet; onsets {onsets}")
+    if claim == "fabric-multipath":
+        def top_load_winner(table: ResultTable) -> Optional[str]:
+            groups = _routing_series(table, x_key)
+            if not groups:
+                return None
+            return max(groups, key=lambda name:
+                       groups[name][-1].metrics["app_throughput_gbps"])
+
+        p_winner = top_load_winner(packet)
+        f_winner = top_load_winner(fluid)
+        report.check(
+            p_winner == f_winner, "routing-winner", "top load",
+            f"packet winner {p_winner!r} vs fluid {f_winner!r}")
+        report.check(
+            p_winner == "flowlet", "routing-winner", "top load",
+            f"flowlet must win the top-load throughput in the packet "
+            f"engine, got {p_winner!r}")
     return report
 
 

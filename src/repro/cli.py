@@ -58,6 +58,7 @@ from typing import List, Optional
 from repro.core.config import (
     CpuConfig,
     ExperimentConfig,
+    FabricConfig,
     HostConfig,
     IommuConfig,
     SimConfig,
@@ -177,6 +178,18 @@ def _fidelity_choices() -> tuple:
     return FIDELITIES
 
 
+def _topology_choices() -> tuple:
+    from repro.core.config import TOPOLOGIES
+
+    return TOPOLOGIES
+
+
+def _routing_choices() -> tuple:
+    from repro.net.routing import available
+
+    return tuple(available())
+
+
 def _host_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=12,
                         help="receiver threads/cores (default 12)")
@@ -195,6 +208,19 @@ def _host_args(parser: argparse.ArgumentParser) -> None:
                              "(default 1)")
     parser.add_argument("--transport", default="swift",
                         choices=_transport_choices())
+    parser.add_argument("--topology", default="star",
+                        choices=_topology_choices(),
+                        help="fabric between senders and hosts: the "
+                             "one-hop star, a k-ary fat tree, or a "
+                             "two-switch dumbbell (default star)")
+    parser.add_argument("--routing", default="static",
+                        choices=_routing_choices(),
+                        help="multipath routing policy for multi-tier "
+                             "fabrics (default static)")
+    parser.add_argument("--fattree-k", type=int, default=4,
+                        help="fat-tree arity, even (default 4)")
+    parser.add_argument("--trunk-links", type=int, default=2,
+                        help="dumbbell trunk link count (default 2)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--warmup-ms", type=float, default=5.0)
     parser.add_argument("--duration-ms", type=float, default=10.0)
@@ -215,6 +241,12 @@ def _config_from_args(args: argparse.Namespace,
         workload=WorkloadConfig(senders=args.senders,
                                 receivers=getattr(args, "receivers", 1)),
         transport=args.transport,
+        fabric=FabricConfig(
+            topology=getattr(args, "topology", "star"),
+            routing=getattr(args, "routing", "static"),
+            fattree_k=getattr(args, "fattree_k", 4),
+            trunk_links=getattr(args, "trunk_links", 2),
+        ),
         fidelity=getattr(args, "fidelity", "packet"),
         sim=SimConfig(warmup=args.warmup_ms * 1e-3,
                       duration=args.duration_ms * 1e-3,

@@ -14,9 +14,11 @@ from repro.core import calibration as cal
 
 __all__ = [
     "FIDELITIES",
+    "TOPOLOGIES",
     "CpuConfig",
     "DdioConfig",
     "ExperimentConfig",
+    "FabricConfig",
     "HostConfig",
     "IommuConfig",
     "LinkConfig",
@@ -273,6 +275,65 @@ class LinkConfig:
                  "ecn threshold must be positive")
 
 
+#: Fabric topologies the graph builder knows how to construct: the
+#: historical one-hop star, a k-ary fat-tree (edge/agg/core tiers),
+#: and a two-switch dumbbell with parallel trunk links.
+TOPOLOGIES = ("star", "fattree", "dumbbell")
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Multi-tier fabric shape and routing policy.
+
+    The default (``star`` + ``static``) is the historical one-hop
+    fabric; multi-tier topologies route every packet through real
+    per-hop switch queues (:mod:`repro.net.fabric`).
+    """
+
+    #: One of :data:`TOPOLOGIES`.
+    topology: str = "star"
+    #: Any name in the routing registry ("static", "ecmp", "flowlet",
+    #: plus anything registered from outside).  Ignored by ``star``,
+    #: which has a single path by construction.
+    routing: str = "static"
+    #: Fat-tree arity (pods); must be even.  k=4 gives 8 edge and 8 agg
+    #: switches plus 4 cores, with (k/2)^2 = 4 cross-pod paths.
+    fattree_k: int = 4
+    #: Parallel core links in the dumbbell trunk (the equal-cost set).
+    trunk_links: int = 2
+    #: Inter-switch link capacity as a fraction of the access-link
+    #: rate: edge<->agg and agg<->core links in the fat-tree, trunk
+    #: links in the dumbbell.  < 1 makes the fabric the bottleneck.
+    uplink_scale: float = 1.0
+    #: Per-port output buffer for multi-tier switches; ``None`` falls
+    #: back to :attr:`LinkConfig.switch_buffer_bytes`.
+    buffer_bytes: Optional[int] = None
+    #: Flowlet gap threshold (seconds): an inter-packet gap larger than
+    #: this ends the flowlet and rehashes the flow onto a (possibly)
+    #: different equal-cost path.
+    flowlet_gap: float = 100e-6
+
+    def __post_init__(self) -> None:
+        # Lazy edge to the routing registry, mirroring the transport
+        # check below: the registry owns the set of policy names.
+        from repro.net.routing import available
+
+        _require(self.topology in TOPOLOGIES,
+                 f"unknown topology {self.topology!r}; "
+                 f"expected one of {TOPOLOGIES}")
+        names = available()
+        _require(self.routing in names,
+                 f"unknown routing policy {self.routing!r}; "
+                 f"expected one of {names}")
+        _require(self.fattree_k >= 2 and self.fattree_k % 2 == 0,
+                 "fattree_k must be an even integer >= 2")
+        _require(self.trunk_links >= 1, "need at least one trunk link")
+        _require(self.uplink_scale > 0, "uplink_scale must be positive")
+        _require(self.buffer_bytes is None or self.buffer_bytes > 0,
+                 "fabric buffer must be positive when set")
+        _require(self.flowlet_gap > 0, "flowlet_gap must be positive")
+
+
 @dataclass(frozen=True)
 class SwiftConfig:
     """Swift congestion control (Kumar et al., SIGCOMM'20), as used by
@@ -386,6 +447,7 @@ class ExperimentConfig:
 
     host: HostConfig = field(default_factory=HostConfig)
     link: LinkConfig = field(default_factory=LinkConfig)
+    fabric: FabricConfig = field(default_factory=FabricConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     swift: SwiftConfig = field(default_factory=SwiftConfig)
     #: Any name in the transport registry ("swift", "dctcp", "cubic",
@@ -415,6 +477,8 @@ class ExperimentConfig:
         """Flat summary of the knobs that vary across paper figures."""
         return {
             "transport": self.transport,
+            "topology": self.fabric.topology,
+            "routing": self.fabric.routing,
             "cores": self.host.cpu.cores,
             "iommu": self.host.iommu.enabled,
             "hugepages": self.host.hugepages,
@@ -422,5 +486,6 @@ class ExperimentConfig:
             "antagonist_cores": self.host.antagonist_cores,
             "senders": self.workload.senders,
             "receivers": self.workload.receivers,
+            "offered_load": self.workload.offered_load,
             "seed": self.sim.seed,
         }

@@ -115,6 +115,10 @@ class ExperimentHandle:
                 "timeouts": float(topology.total_timeouts()),
                 "mean_cwnd": topology.mean_cwnd(),
                 "fabric_drops": float(topology.fabric.fabric_drops()),
+                "fabric_drop_rate":
+                    (float(topology.fabric.fabric_drops())
+                     / float(topology.total_packets_sent())
+                     if topology.total_packets_sent() else 0.0),
                 "messages_completed": float(topology.messages_completed()),
                 "link_utilization":
                     metrics["wire_arrival_gbps"] * 1e9

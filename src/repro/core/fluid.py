@@ -113,7 +113,11 @@ class FluidExperiment:
                 "retransmissions": run.retransmissions * m,
                 "timeouts": run.timeouts * m,
                 "mean_cwnd": self.solver.mean_cwnd(),
-                "fabric_drops": 0.0,
+                "fabric_drops": run.fabric_dropped_packets * m,
+                "fabric_drop_rate":
+                    (run.fabric_dropped_packets
+                     / run.fabric_offered_packets
+                     if run.fabric_offered_packets > 0 else 0.0),
                 "messages_completed": messages * m,
                 "link_utilization":
                     metrics["wire_arrival_gbps"] * 1e9

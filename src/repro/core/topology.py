@@ -7,11 +7,21 @@
 resets, and snapshots, whether the experiment has one receiver host (the
 paper's setup) or many.
 
+The fabric between senders and hosts is chosen by
+``config.fabric.topology``: the historical one-hop ``star`` (built on
+the exact historical code path, so star results stay byte-identical),
+or a planned multi-tier graph — a k-ary ``fattree`` or a two-switch
+``dumbbell`` — where every hop is a real switch port and a routing
+policy (static/ECMP/flowlet) picks among equal-cost paths per packet
+(see :mod:`repro.net.fabric` and :mod:`repro.net.routing`).
+
 Metric namespacing follows the component tree: a single-host topology
 keeps every historical flat name (``nic.rx_packets``,
 ``transport.mean_cwnd``), while a multi-host topology prefixes each
 host's subtree (``host0/nic.rx_packets``, ``host1/transport.mean_cwnd``)
 and keeps fabric-level metrics shared (``fabric.fabric_drops``).
+Multi-tier fabrics additionally expose per-hop metrics
+(``fabric/agg1/port2.dropped``).
 """
 
 from __future__ import annotations
@@ -20,14 +30,28 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import ExperimentConfig
 from repro.host.host import ReceiverHost
-from repro.net.fabric import Fabric
+from repro.net.fabric import (
+    Fabric,
+    FabricPlan,
+    MultiTierFabric,
+    build_fabric_plan,
+    dumbbell_plan,
+    fattree_plan,
+)
 from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.sim.tracing import Tracer
 from repro.transport.base import Connection
 from repro.workload.remote_read import HostWorkload, build_remote_read_graph
 
-__all__ = ["GraphBuilder", "Topology"]
+__all__ = [
+    "GraphBuilder",
+    "Topology",
+    "FabricPlan",
+    "build_fabric_plan",
+    "dumbbell_plan",
+    "fattree_plan",
+]
 
 
 class GraphBuilder:
@@ -50,10 +74,25 @@ class GraphBuilder:
         if self.receivers < 1:
             raise ValueError(
                 f"need at least one receiver host, got {self.receivers}")
+        #: The multi-tier plan, or None for the historical star.
+        self.plan: Optional[FabricPlan] = None
+        if config.fabric.topology != "star":
+            self.plan = build_fabric_plan(
+                config,
+                n_senders=config.workload.senders * self.receivers,
+                n_hosts=self.receivers)
 
     def build(self, sim: Simulator) -> "Topology":
+        factory = None
+        if self.plan is not None:
+            plan = self.plan
+
+            def factory(deliver):
+                return MultiTierFabric(sim, self.config, plan, deliver)
+
         hosts, fabric, workloads = build_remote_read_graph(
-            sim, self.config, receivers=self.receivers, tracer=self.tracer)
+            sim, self.config, receivers=self.receivers,
+            tracer=self.tracer, fabric_factory=factory)
         return Topology(self.config, hosts, fabric, workloads)
 
 

@@ -1,21 +1,24 @@
-"""An output-queued switch port.
+"""Output-queued switch ports and multi-port switches.
 
 The paper's incast (40 senders → 1 receiver) aggregates at the switch
 port feeding the receiver's access link.  The port has a large buffer
 (fabric congestion is not the subject of the paper) and optional ECN
-marking so the DCTCP baseline has a signal to work with.
+marking so the DCTCP baseline has a signal to work with.  Multi-tier
+fabrics compose ports into :class:`Switch` nodes — one per edge/agg/
+core switch — so every hop shows up in the metric tree with its own
+drop and occupancy counters (``fabric/agg1/port2.dropped``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.sim.queues import ByteQueue
 
-__all__ = ["SwitchPort"]
+__all__ = ["Switch", "SwitchPort"]
 
 
 class SwitchPort(Component):
@@ -43,13 +46,20 @@ class SwitchPort(Component):
         self.queue = ByteQueue(sim, buffer_bytes, name=name)
         self._transmitting = False
         self.forwarded = 0
+        # Port-level drop accounting: counted here, at the port that
+        # dropped, so multi-port switches report per-port drops instead
+        # of one pooled number at the fabric root.
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
 
     def enqueue(self, pkt: Packet) -> None:
         if (self.ecn_threshold_bytes is not None
                 and self.queue.bytes_used >= self.ecn_threshold_bytes):
             pkt.ecn_marked = True
         if not self.queue.offer(pkt, pkt.wire_bytes):
-            return  # fabric drop (rare by construction; still counted)
+            self.dropped_packets += 1
+            self.dropped_bytes += pkt.wire_bytes
+            return  # fabric drop, charged to this port
         if not self._transmitting:
             self._next()
 
@@ -70,10 +80,13 @@ class SwitchPort(Component):
 
     @property
     def dropped(self) -> int:
-        return self.queue.dropped_count
+        return self.dropped_packets
 
     def queue_depth_bytes(self) -> int:
         return self.queue.bytes_used
+
+    def peak_queue_bytes(self) -> int:
+        return self.queue.peak_bytes
 
     def bind_own_metrics(self, registry, component: str) -> None:
         registry.counter("forwarded", component,
@@ -82,7 +95,53 @@ class SwitchPort(Component):
                          fn=lambda: self.dropped)
         registry.gauge("queue_depth_bytes", component, unit="bytes",
                        fn=lambda: float(self.queue_depth_bytes()))
+        registry.gauge("peak_queue_bytes", component, unit="bytes",
+                       fn=lambda: float(self.peak_queue_bytes()))
+
+    def own_snapshot(self) -> Dict[str, float]:
+        return {
+            "forwarded": float(self.forwarded),
+            "dropped": float(self.dropped_packets),
+            "dropped_bytes": float(self.dropped_bytes),
+            "queue_depth_bytes": float(self.queue.bytes_used),
+            "peak_queue_bytes": float(self.queue.peak_bytes),
+        }
 
     def reset_own_stats(self) -> None:
         """Deliberate no-op: fabric drop/forward counts run from t=0 so
         `collect()` keeps reporting whole-run fabric drops."""
+
+
+class Switch(Component):
+    """A named switch: a bag of output ports, one per attached link.
+
+    Pure composition — the data path lives in the ports; the switch
+    exists so per-hop metrics namespace cleanly (``fabric/agg1/port2``)
+    and per-switch drop/occupancy roll-ups are one call away.
+    """
+
+    label = "switch"
+
+    def __init__(self, name: str, tier: str):
+        self.name = name
+        self.label = name
+        #: "edge" / "agg" / "core" (or "switch" for the dumbbell ends).
+        self.tier = tier
+        self._ports: List[Tuple[str, SwitchPort]] = []
+
+    def add_port(self, name: str, port: SwitchPort) -> SwitchPort:
+        self._ports.append((name, port))
+        return port
+
+    @property
+    def ports(self) -> Tuple[SwitchPort, ...]:
+        return tuple(p for _, p in self._ports)
+
+    def children(self):
+        return tuple(self._ports)
+
+    def dropped(self) -> int:
+        return sum(p.dropped for p in self.ports)
+
+    def queue_depth_bytes(self) -> int:
+        return sum(p.queue_depth_bytes() for p in self.ports)

@@ -39,10 +39,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import ExperimentConfig
+from repro.net.routing import create_policy
 
 __all__ = [
+    "FabricProfile",
     "FluidRun",
     "FluidSolver",
+    "fluid_fabric_profile",
     "fluid_working_set",
     "message_latency_summary",
     "predicted_misses_per_packet",
@@ -235,6 +238,107 @@ def message_latency_summary(
     }
 
 
+@dataclass(frozen=True)
+class FabricProfile:
+    """Calibrated aggregate treatment of a multi-tier fabric stage.
+
+    Built by :func:`fluid_fabric_profile` from the same config the
+    packet engine's :class:`~repro.net.fabric.FabricPlan` is built
+    from, mirroring the plan's canonical path enumeration and the
+    shared :mod:`repro.net.routing` hash — so static and ECMP per-path
+    flow counts are *exact*, not estimated (flowlet is modelled as the
+    ideal balance it converges to).  ``terms`` describe, host-averaged,
+    the bottleneck multipath tier (the dumbbell trunks; the agg→edge
+    down-links into the receiver's pod in a fat-tree): for each used
+    link, the fraction of the host's window routed through it, its
+    capacity share (link capacity × this host's flow share on it), and
+    its buffer share.  ``free_fraction`` is the share of flows that
+    never cross a constrained link (same-edge traffic).
+    """
+
+    #: (window fraction, capacity bits/s, buffer bytes) per used link,
+    #: already divided by the receiver count (host-averaged).
+    terms: Tuple[Tuple[float, float, float], ...]
+    free_fraction: float
+
+
+def fluid_fabric_profile(
+        config: ExperimentConfig) -> Optional[FabricProfile]:
+    """The fluid fabric stage for ``config.fabric`` (None for star).
+
+    Mirrors the multi-tier plan math of :mod:`repro.net.fabric` —
+    endpoint placement (``index % n_edges``), equal-cost set sizes, and
+    the canonical path-index → receiver-side link mapping (cross-pod
+    index ``j·(k/2)+m`` descends through agg ``j``) — and reuses the
+    actual routing-policy hash for per-path flow counts.  Asserted
+    against the packet plan in ``tests/test_fluid_fabric.py``.
+    """
+    fc = config.fabric
+    if fc.topology == "star":
+        return None
+    wl = config.workload
+    receivers = wl.receivers
+    cores = config.host.cpu.cores
+    senders = wl.senders
+    n_h = cores * senders
+    cap_link = fc.uplink_scale * config.link.rate_bps
+    buf = float(fc.buffer_bytes if fc.buffer_bytes is not None
+                else config.link.switch_buffer_bytes)
+    policy = create_policy(fc.routing, seed=config.sim.seed,
+                           flowlet_gap=fc.flowlet_gap)
+    #: Flowlet rehashes every burst boundary; over a run it converges
+    #: to the uniform split, which is what the fluid stage models.
+    ideal = fc.routing == "flowlet"
+    host_loads: List[Dict[object, float]] = [{} for _ in range(receivers)]
+    totals: Dict[object, float] = {}
+    free = [0.0] * receivers
+
+    def add(host: int, key: object, weight: float) -> None:
+        host_loads[host][key] = host_loads[host].get(key, 0.0) + weight
+        totals[key] = totals.get(key, 0.0) + weight
+
+    if fc.topology == "dumbbell":
+        n_paths = fc.trunk_links
+        for h in range(receivers):
+            base = h * n_h
+            for f in range(n_h):
+                if ideal:
+                    for j in range(n_paths):
+                        add(h, j, 1.0 / n_paths)
+                else:
+                    add(h, policy.select(base + f, n_paths, 0.0), 1.0)
+    else:  # fattree
+        half = fc.fattree_k // 2
+        n_edges = fc.fattree_k * half
+        for h in range(receivers):
+            host_edge = h % n_edges
+            dpod = host_edge // half
+            base = h * n_h
+            for f in range(n_h):
+                sender = h * senders + f % senders
+                src_edge = sender % n_edges
+                if src_edge == host_edge:
+                    free[h] += 1.0
+                    continue
+                spod = src_edge // half
+                n_paths = half if spod == dpod else half * half
+                if ideal:
+                    for j in range(half):
+                        add(h, (dpod, j, host_edge), 1.0 / half)
+                else:
+                    idx = policy.select(base + f, n_paths, 0.0)
+                    j = idx if spod == dpod else idx // half
+                    add(h, (dpod, j, host_edge), 1.0)
+    terms: List[Tuple[float, float, float]] = []
+    for h in range(receivers):
+        for key, n_hj in host_loads[h].items():
+            terms.append((n_hj / n_h / receivers,
+                          cap_link * (n_hj / totals[key]) / receivers,
+                          buf / receivers))
+    return FabricProfile(tuple(sorted(terms)),
+                         sum(free) / (n_h * receivers))
+
+
 @dataclass
 class FluidRun:
     """Accumulated measurement-window outputs of one solved host."""
@@ -242,6 +346,11 @@ class FluidRun:
     elapsed: float = 0.0
     rx_packets: float = 0.0
     dropped_packets: float = 0.0
+    #: Multi-tier fabric stage accounting (zero on star topologies):
+    #: packets offered to the fabric and packets tail-dropped at
+    #: fabric switch ports before ever reaching the host NIC.
+    fabric_offered_packets: float = 0.0
+    fabric_dropped_packets: float = 0.0
     dma_packets: float = 0.0
     drained_packets: float = 0.0
     drained_payload_bytes: float = 0.0
@@ -377,6 +486,20 @@ class FluidSolver:
         self._last_decrease = -math.inf
         self.loss_based = config.transport in LOSS_BASED_TRANSPORTS
         self._delayed_loss = 0.0
+        # Multi-tier fabric stage (None on the star: the guarded branch
+        # in step() is never entered and the solver's arithmetic is
+        # bit-identical to the pre-fabric implementation).
+        profile = fluid_fabric_profile(config)
+        self.fabric_profile = profile
+        if profile is not None:
+            self._fab_terms: Optional[Tuple[Tuple[float, float, float],
+                                            ...]] = profile.terms
+            self._fab_free = profile.free_fraction
+            self._fab_frac_sum = sum(f for f, _, _ in profile.terms)
+            self._fab_q = [0.0] * len(profile.terms)
+        else:
+            self._fab_terms = None
+        self._fab_delay = 0.0
         self.set_offered_load(wl.offered_load)
         self.run = FluidRun()
 
@@ -432,6 +555,8 @@ class FluidSolver:
         # interval carries over (``Connection.add_backlog``) instead of
         # being capped at the instantaneous offered rate.
         rtt_eff = self.base_rtt + self._host_delay
+        if self._fab_terms is not None:
+            rtt_eff += self._fab_delay
         window_bps = self.W * self.wire_bits / rtt_eff
         if self.open_loop:
             q_demand = self.q_demand + self.demand_step_bytes
@@ -443,8 +568,41 @@ class FluidSolver:
             arrival_bps = (window_bps if window_bps < self.link_rate_bps
                            else self.link_rate_bps)
 
-        # NIC stage: bounded buffer, tail drop on overflow.
+        # Fabric stage (multi-tier topologies only): per-used-link fluid
+        # queues at the bottleneck multipath tier.  Each link passes its
+        # window share through up to its capacity share, buffers the
+        # excess, and tail-drops past its buffer — drops the host NIC
+        # never sees, at whichever link the routing policy overloaded.
         inflow = arrival_bps / 8 * dt
+        fab_dropped_bytes = 0.0
+        if self._fab_terms is not None:
+            served_bytes = arrival_bps * self._fab_free / 8.0 * dt
+            delay_num = 0.0
+            fab_q = self._fab_q
+            for i, (frac, cap_bps, fab_buf) in enumerate(self._fab_terms):
+                backlog = fab_q[i] + arrival_bps * frac / 8.0 * dt
+                cap_bytes = cap_bps / 8.0 * dt
+                served_t = backlog if backlog < cap_bytes else cap_bytes
+                level = backlog - served_t
+                over = level - fab_buf
+                if over > 0.0:
+                    fab_dropped_bytes += over
+                    level = fab_buf
+                fab_q[i] = level
+                served_bytes += served_t
+                delay_num += level / (cap_bps / 8.0) * frac
+            self._fab_delay = (delay_num / self._fab_frac_sum
+                               if self._fab_frac_sum > 0.0 else 0.0)
+            run.fabric_offered_packets += inflow / self.wire_bytes
+            run.fabric_dropped_packets += (fab_dropped_bytes
+                                           / self.wire_bytes)
+            run.retransmissions += fab_dropped_bytes / self.wire_bytes
+            if self.open_loop:
+                # Reliable transport: fabric-dropped reads come back.
+                self.q_demand += fab_dropped_bytes
+            inflow = served_bytes
+
+        # NIC stage: bounded buffer, tail drop on overflow.
         nic_capacity = nic_bps / 8 * dt
         nic_backlog = self.q_nic + inflow
         dma_bytes = (nic_capacity if nic_capacity < nic_backlog
@@ -570,7 +728,9 @@ class FluidSolver:
         # Roll the delayed signals forward one step.
         self._delayed_signal = self._host_delay
         self._host_delay = host_delay
-        self._delayed_loss = dropped_bytes
+        # Loss-based CC sees fabric drops too (they trigger the same
+        # retransmit/decrease machinery in the packet engine).
+        self._delayed_loss = dropped_bytes + fab_dropped_bytes
         self._nic_drain_pps = dma / dt
         self._cpu_drain_pps = drained / dt
         self.now = now + dt

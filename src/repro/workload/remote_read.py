@@ -22,7 +22,7 @@ Two granularities are exposed:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ExperimentConfig
 from repro.host.host import ReceiverHost
@@ -216,12 +216,20 @@ def build_remote_read_graph(
     config: ExperimentConfig,
     receivers: int = 1,
     tracer: Optional[Tracer] = None,
+    fabric_factory: Optional[
+        Callable[[Sequence[Callable]], Fabric]] = None,
 ) -> Tuple[List[ReceiverHost], Fabric, List[HostWorkload]]:
     """Construct {N×M senders → fabric → M receiver hosts}.
 
     Each receiver host gets its own disjoint set of ``senders`` sender
     machines and ``cores × senders`` flows, so per-host congestion is
     independent by construction (the headline multi-receiver claim).
+
+    ``fabric_factory`` — called with the per-host delivery callbacks —
+    lets :class:`~repro.core.topology.GraphBuilder` substitute a
+    multi-tier fabric; the default builds the historical one-hop star.
+    The fabric only needs the star's surface: ``send_packet``,
+    ``register_flow``, ``route_ack``, ``fabric_drops``.
 
     With ``receivers == 1`` the build order — RNG streams, host, fabric,
     endpoint, connections — replays the historical single-host
@@ -239,12 +247,16 @@ def build_remote_read_graph(
             tracer=tracer)
         for i in range(receivers)
     ]
-    fabric = Fabric(
-        sim,
-        config.link,
-        n_senders=config.workload.senders * receivers,
-        receivers=[host.deliver_packet for host in hosts],
-    )
+    deliver = [host.deliver_packet for host in hosts]
+    if fabric_factory is not None:
+        fabric = fabric_factory(deliver)
+    else:
+        fabric = Fabric(
+            sim,
+            config.link,
+            n_senders=config.workload.senders * receivers,
+            receivers=deliver,
+        )
     workloads = [
         HostWorkload(sim, config, host, fabric,
                      host_index=i, arrival_rng=arrival_rng)
@@ -263,6 +275,10 @@ class RemoteReadWorkload(Component):
                 "RemoteReadWorkload is single-host; build a multi-host "
                 "graph with repro.core.topology.GraphBuilder or "
                 "build_remote_read_graph")
+        if config.fabric.topology != "star":
+            raise ValueError(
+                "RemoteReadWorkload is star-only; multi-tier fabrics "
+                "are built by repro.core.topology.GraphBuilder")
         self.sim = sim
         self.config = config
         hosts, fabric, workloads = build_remote_read_graph(

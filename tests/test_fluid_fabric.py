@@ -1,0 +1,147 @@
+"""Fluid fabric profile: the calibrated aggregate stage must mirror
+the packet engine's multi-tier plan, not approximate it.
+
+For static and ECMP routing the per-path flow counts come from the
+*same* ``repro.net.routing`` hash the packet fabric uses, so the
+profile's capacity shares are exact.  These tests cross-check the
+profile against an independently-built packet plan plus policy, which
+is the contract that keeps ``analysis/xval`` honest.
+"""
+
+import dataclasses
+from collections import Counter
+
+import pytest
+
+from repro.core.config import ExperimentConfig, FabricConfig
+from repro.net.routing import create_policy
+from repro.sim.fluid import FabricProfile, FluidRun, fluid_fabric_profile
+
+
+def make_config(topology, routing, *, seed=1, senders=4, cores=2,
+                **fabric_kwargs):
+    cfg = ExperimentConfig(
+        fabric=FabricConfig(topology=topology, routing=routing,
+                            **fabric_kwargs))
+    return dataclasses.replace(
+        cfg,
+        host=dataclasses.replace(
+            cfg.host, cpu=dataclasses.replace(cfg.host.cpu,
+                                              cores=cores)),
+        workload=dataclasses.replace(cfg.workload, senders=senders),
+        sim=dataclasses.replace(cfg.sim, seed=seed))
+
+
+class TestStar:
+    def test_star_has_no_fabric_stage(self):
+        assert fluid_fabric_profile(ExperimentConfig()) is None
+
+
+class TestDumbbellProfile:
+    def test_static_funnels_everything_onto_trunk_zero(self):
+        config = make_config("dumbbell", "static", trunk_links=2)
+        profile = fluid_fabric_profile(config)
+        assert isinstance(profile, FabricProfile)
+        assert profile.free_fraction == 0.0
+        assert len(profile.terms) == 1
+        frac, cap, buf = profile.terms[0]
+        assert frac == 1.0  # every flow rides the one selected trunk
+        assert cap == pytest.approx(
+            config.fabric.uplink_scale * config.link.rate_bps)
+        assert buf == float(config.link.switch_buffer_bytes)
+
+    def test_ecmp_counts_match_the_shared_routing_hash(self):
+        """The exactness claim: per-trunk flow fractions equal what an
+        independent policy instance (same seed) assigns."""
+        config = make_config("dumbbell", "ecmp", seed=1, senders=8,
+                             cores=2, trunk_links=2)
+        profile = fluid_fabric_profile(config)
+        n_h = 16
+        policy = create_policy("ecmp", seed=config.sim.seed)
+        counts = Counter(policy.select(f, 2, 0.0) for f in range(n_h))
+        expected = sorted(counts[t] / n_h for t in range(2))
+        assert sorted(t[0] for t in profile.terms) \
+            == pytest.approx(expected)
+        # seed 1 splits 16 flows unevenly — the imbalance the dumbbell
+        # scenario's ECMP-vs-flowlet discrimination rests on
+        assert profile.terms[0][0] != profile.terms[1][0]
+
+    def test_flowlet_is_the_ideal_uniform_balance(self):
+        config = make_config("dumbbell", "flowlet", trunk_links=4)
+        profile = fluid_fabric_profile(config)
+        assert len(profile.terms) == 4
+        cap_link = config.fabric.uplink_scale * config.link.rate_bps
+        for frac, cap, _ in profile.terms:
+            assert frac == pytest.approx(1.0 / 4)
+            # sole receiver owns every flow on each trunk, so each
+            # term sees the trunk's full capacity
+            assert cap == pytest.approx(cap_link)
+
+    def test_capacity_share_follows_flow_share(self):
+        """A trunk's capacity term scales by this host's share of the
+        flows on it — with one receiver that share is 1."""
+        config = make_config("dumbbell", "ecmp", seed=1, trunk_links=2)
+        profile = fluid_fabric_profile(config)
+        cap_link = config.fabric.uplink_scale * config.link.rate_bps
+        for _frac, cap, _buf in profile.terms:
+            assert cap == pytest.approx(cap_link)
+
+
+class TestFattreeProfile:
+    def test_free_fraction_counts_same_edge_flows(self):
+        """Flows whose sender lands on the receiver's edge switch never
+        cross a constrained link.  With k=4 (8 edges), receiver 0 on
+        edge 0, senders 0..7 round-robin over edges: exactly sender 0
+        is co-located, for every core's copy of the flow set."""
+        config = make_config("fattree", "ecmp", senders=8, cores=2,
+                             fattree_k=4)
+        profile = fluid_fabric_profile(config)
+        assert profile.free_fraction == pytest.approx(1.0 / 8)
+
+    def test_terms_conserve_the_loaded_fraction(self):
+        config = make_config("fattree", "ecmp", senders=8, cores=2,
+                             fattree_k=4)
+        profile = fluid_fabric_profile(config)
+        assert sum(t[0] for t in profile.terms) + profile.free_fraction \
+            == pytest.approx(1.0)
+
+    def test_ecmp_downlink_counts_match_the_routing_hash(self):
+        """Replay the profile's plan math independently: same endpoint
+        placement, same equal-cost set sizes, same path-index → agg
+        mapping, same hash — the per-downlink weights must agree."""
+        config = make_config("fattree", "ecmp", seed=3, senders=8,
+                            cores=2, fattree_k=4)
+        profile = fluid_fabric_profile(config)
+        k, half = 4, 2
+        n_edges = k * half
+        policy = create_policy("ecmp", seed=config.sim.seed)
+        weights = Counter()
+        host_edge, n_h = 0, 16
+        for f in range(n_h):
+            src_edge = (f % 8) % n_edges
+            if src_edge == host_edge:
+                continue
+            same_pod = src_edge // half == host_edge // half
+            n_paths = half if same_pod else half * half
+            idx = policy.select(f, n_paths, 0.0)
+            j = idx if same_pod else idx // half
+            weights[j] += 1
+        expected = sorted(w / n_h for w in weights.values())
+        assert sorted(t[0] for t in profile.terms) \
+            == pytest.approx(expected)
+
+    def test_flowlet_spreads_over_both_downlinks(self):
+        config = make_config("fattree", "flowlet", senders=8, cores=2,
+                             fattree_k=4)
+        profile = fluid_fabric_profile(config)
+        loaded = 1.0 - profile.free_fraction
+        assert len(profile.terms) == 2  # one per agg in the dest pod
+        for frac, _cap, _buf in profile.terms:
+            assert frac == pytest.approx(loaded / 2)
+
+
+class TestFluidRunFabricFields:
+    def test_defaults_are_zero(self):
+        run = FluidRun()
+        assert run.fabric_offered_packets == 0.0
+        assert run.fabric_dropped_packets == 0.0

@@ -119,6 +119,35 @@ def test_batched_fluid_solver_is_pinned_to_the_kernel_layer():
                 f"imports {target}")
 
 
+def test_routing_is_pinned_to_the_kernel_layer():
+    """``repro.net.routing`` is the shared path-hash: the packet
+    fabric selects ports with it and the fluid profile replays the
+    same assignments, so it is pinned at layer 0 where both engines
+    can see it.  Stricter than the layer rule, it must not import any
+    ``repro`` module at all — a leaf, like ``sim.wheel`` — so the two
+    fidelities can never diverge through a hidden dependency."""
+    sys.path.insert(0, str(REPO / "scripts"))
+    try:
+        from check_layering import KERNEL_MODULES, layer_of
+    finally:
+        sys.path.pop(0)
+    assert "repro.net.routing" in KERNEL_MODULES
+    assert layer_of("repro.net.routing") == 0
+    path = REPO / "src" / "repro" / "net" / "routing.py"
+    tree = ast.parse(path.read_text(), filename=str(path))
+    repro_imports = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            repro_imports += [a.name for a in node.names
+                              if a.name.split(".")[0] == "repro"]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "repro":
+                repro_imports.append(node.module)
+    assert repro_imports == [], (
+        f"net/routing.py must stay a leaf module, "
+        f"imports {repro_imports}")
+
+
 def test_upward_import_is_flagged(tmp_path):
     # A fake repro tree where the bottom layer imports a higher one.
     pkg = make_fake_tree(tmp_path)
